@@ -1,0 +1,115 @@
+// Command kfasm inspects KFlex/eBPF bytecode: it disassembles wire-format
+// programs, verifies them under either ruleset, and shows the instrumented
+// output the Kie engine would load.
+//
+// Usage:
+//
+//	kfasm -demo                     # run on a built-in demo program
+//	kfasm -in prog.bin              # disassemble an eBPF wire-format file
+//	kfasm -in prog.bin -verify kflex -heap 1048576 -instrument
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kflex/asm"
+	"kflex/insn"
+	"kflex/internal/kernel"
+	"kflex/internal/kie"
+	"kflex/internal/verifier"
+)
+
+func main() {
+	in := flag.String("in", "", "bytecode file (eBPF wire format)")
+	demo := flag.Bool("demo", false, "use the built-in demo program")
+	verify := flag.String("verify", "", "verify as 'ebpf' or 'kflex'")
+	heap := flag.Uint64("heap", 0, "declared heap size for kflex verification")
+	hookName := flag.String("hook", "bench", "hook: xdp, sk_skb, lsm, bench")
+	instrument := flag.Bool("instrument", false, "print Kie-instrumented output")
+	flag.Parse()
+
+	var prog []insn.Instruction
+	switch {
+	case *demo:
+		prog = demoProgram()
+	case *in != "":
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = insn.Decode(raw)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "kfasm: need -in FILE or -demo")
+		os.Exit(2)
+	}
+
+	fmt.Print(insn.Disassemble(prog))
+	if *verify == "" {
+		return
+	}
+
+	hooks := map[string]*kernel.Hook{
+		"xdp": kernel.HookXDP, "sk_skb": kernel.HookSkSkb,
+		"lsm": kernel.HookLSM, "bench": kernel.HookBench,
+	}
+	hook, ok := hooks[*hookName]
+	if !ok {
+		fatal(fmt.Errorf("unknown hook %q", *hookName))
+	}
+	mode := verifier.ModeEBPF
+	if *verify == "kflex" {
+		mode = verifier.ModeKFlex
+	}
+	an, err := verifier.Verify(prog, verifier.Config{
+		Mode: mode, Hook: hook, Kernel: kernel.New(), HeapSize: *heap,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verification failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nverified (%s mode): loops bounded=%v, %d states explored\n",
+		*verify, an.LoopsBounded, an.StatesExplored)
+	if !*instrument {
+		return
+	}
+	rep, err := kie.Instrument(an)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%s\n\ninstrumented program:\n%s", rep, insn.Disassemble(rep.Prog))
+	for _, cp := range rep.CPs {
+		fmt.Printf("CP %d (%s) at insn %d", cp.ID, cp.Kind, cp.Insn)
+		if len(cp.Table) > 0 {
+			fmt.Print(": object table ")
+			for _, row := range cp.Table {
+				fmt.Printf("[%s acquired@%d -> %s] ", row.Kind, row.Site, row.Destructor)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// demoProgram walks a heap list and needs the full KFlex treatment.
+func demoProgram() []insn.Instruction {
+	return asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R6, insn.R0).
+		Load(insn.R6, insn.R6, 64, 8).
+		Label("loop").
+		JmpImm(insn.JmpEq, insn.R6, 0, "out").
+		Load(insn.R6, insn.R6, 8, 8).
+		Ja("loop").
+		Label("out").
+		Ret(0).
+		MustAssemble()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kfasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+package kflex_test
+
+import (
+	"fmt"
+
+	"kflex"
+	"kflex/asm"
+	"kflex/insn"
+)
+
+// Example shows the full KFlex workflow: build an extension that allocates
+// from its heap (impossible in plain eBPF), load it through verification
+// and Kie instrumentation, and run it.
+func Example() {
+	prog := asm.New().
+		MovImm(insn.R1, 64).
+		Call(kflex.HelperKflexMalloc).
+		JmpImm(insn.JmpEq, insn.R0, 0, "oom").
+		Mov(insn.R6, insn.R0).
+		StoreImm(insn.R6, 0, 7, 8). // *block = 7 (guard elided: fresh pointer)
+		Load(insn.R7, insn.R6, 0, 8).
+		Mov(insn.R1, insn.R6).
+		Call(kflex.HelperKflexFree).
+		Mov(insn.R0, insn.R7).
+		Exit().
+		Label("oom").
+		Ret(0).
+		MustAssemble()
+
+	rt := kflex.NewRuntime()
+	ext, err := rt.Load(kflex.Spec{
+		Name:     "example",
+		Insns:    prog,
+		Hook:     kflex.HookBench,
+		Mode:     kflex.ModeKFlex,
+		HeapSize: 1 << 16,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer ext.Close()
+
+	res, _ := ext.Handle(0).Run(nil, make([]byte, kflex.HookBench.CtxSize))
+	fmt.Println("returned:", res.Ret)
+	fmt.Println("manipulation guards:", ext.Report().ManipGuards)
+	// Output:
+	// returned: 7
+	// manipulation guards: 0
+}
+
+// ExampleSpec_quantum demonstrates safe termination (§3.3): a buggy
+// extension that never terminates is cancelled at a *terminate probe and
+// returns the hook's default verdict.
+func ExampleSpec_quantum() {
+	spin := asm.New().
+		Call(kflex.HelperKflexHeapBase).
+		Mov(insn.R6, insn.R0).
+		Label("forever").
+		Load(insn.R1, insn.R6, 64, 8).
+		Ja("forever").
+		MustAssemble()
+
+	rt := kflex.NewRuntime()
+	ext, err := rt.Load(kflex.Spec{
+		Name:         "runaway",
+		Insns:        spin,
+		Hook:         kflex.HookXDP,
+		Mode:         kflex.ModeKFlex,
+		HeapSize:     1 << 16,
+		QuantumInsns: 10_000,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer ext.Close()
+
+	res, _ := ext.Handle(0).Run(nil, make([]byte, kflex.HookXDP.CtxSize))
+	fmt.Println("cancelled:", res.Cancelled)
+	fmt.Println("verdict is XDP_PASS:", res.Ret == uint64(kflex.XDPPass))
+	fmt.Println("unloaded:", ext.Unloaded())
+	// Output:
+	// cancelled: terminate-probe
+	// verdict is XDP_PASS: true
+	// unloaded: true
+}
+
+// ExampleSpec_modeEBPF shows backward compatibility: the same runtime
+// verifies plain eBPF programs under the stricter ruleset, rejecting what
+// upstream rejects.
+func ExampleSpec_modeEBPF() {
+	unbounded := asm.New().
+		Load(insn.R2, insn.R1, 0, 8).
+		Label("walk").
+		JmpImm(insn.JmpEq, insn.R2, 0, "out").
+		Load(insn.R2, insn.R1, 0, 8).
+		Ja("walk").
+		Label("out").
+		Ret(0).
+		MustAssemble()
+
+	rt := kflex.NewRuntime()
+	_, err := rt.Load(kflex.Spec{
+		Name: "list-walk", Insns: unbounded, Hook: kflex.HookBench, Mode: kflex.ModeEBPF,
+	})
+	fmt.Println("eBPF mode rejects it:", err != nil)
+
+	_, err = rt.Load(kflex.Spec{
+		Name: "list-walk", Insns: unbounded, Hook: kflex.HookBench,
+		Mode: kflex.ModeKFlex, HeapSize: 1 << 16,
+	})
+	fmt.Println("KFlex mode accepts it:", err == nil)
+	// Output:
+	// eBPF mode rejects it: true
+	// KFlex mode accepts it: true
+}

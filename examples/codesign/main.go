@@ -1,0 +1,157 @@
+// codesign demonstrates §5.3: an extension and a user-space thread working
+// on the same data structure through a transparently shared heap.
+//
+// The extension (the "fast path") appends entries to a linked log in its
+// heap under a KFlex spin lock, storing pointers with translate-on-store so
+// they are valid user-space addresses. A user-space "garbage collector"
+// (the "slow path") periodically walks the log through the shared mapping,
+// taking the same lock via the user view, and prunes entries older than a
+// cutoff — the auxiliary work the paper notes is required in production but
+// cannot be offloaded sensibly.
+//
+// Run with: go run ./examples/codesign
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"kflex"
+	"kflex/asm"
+	"kflex/insn"
+)
+
+// Log entry layout: seq @0, payload @8, next @16.
+const (
+	eSeq  = 0
+	eVal  = 8
+	eNext = 16
+	eSize = 24
+)
+
+// Globals: log head @G, spin lock @G+8.
+const (
+	gHead = kflex.GlobalsOff
+	gLock = kflex.GlobalsOff + 8
+)
+
+// appendProgram pushes a log entry: seq from ctx->a, payload from ctx->b.
+func appendProgram() []insn.Instruction {
+	b := asm.New()
+	b.Mov(insn.R9, insn.R1)
+	b.Call(kflex.HelperKflexHeapBase)
+	b.Mov(insn.R8, insn.R0)
+
+	b.MovImm(insn.R1, eSize)
+	b.Call(kflex.HelperKflexMalloc)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "oom")
+	b.Mov(insn.R6, insn.R0)
+	b.Load(insn.R2, insn.R9, 8, 8) // ctx->a: sequence number
+	b.Store(insn.R6, eSeq, insn.R2, 8)
+	b.Load(insn.R2, insn.R9, 16, 8) // ctx->b: payload
+	b.Store(insn.R6, eVal, insn.R2, 8)
+
+	// Lock, link at head, unlock. The stored pointers are translated to
+	// user VAs (translate-on-store), so the collector walks them as-is.
+	b.Mov(insn.R1, insn.R8)
+	b.Add(insn.R1, gLock)
+	b.Call(kflex.HelperKflexSpinLock)
+	b.Load(insn.R2, insn.R8, gHead, 8)
+	b.Store(insn.R6, eNext, insn.R2, 8)
+	b.Store(insn.R8, gHead, insn.R6, 8)
+	b.Mov(insn.R1, insn.R8)
+	b.Add(insn.R1, gLock)
+	b.Call(kflex.HelperKflexSpinUnlock)
+	b.Ret(0)
+	b.Label("oom")
+	b.Ret(1)
+	return b.MustAssemble()
+}
+
+func main() {
+	rt := kflex.NewRuntime()
+	ext, err := rt.Load(kflex.Spec{
+		Name:      "log-appender",
+		Insns:     appendProgram(),
+		Hook:      kflex.HookBench,
+		Mode:      kflex.ModeKFlex,
+		HeapSize:  1 << 20,
+		ShareHeap: true, // map the heap into "user space" (§3.4)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ext.Close()
+	fmt.Println("extension loaded:", ext.Report())
+
+	h := ext.Handle(0)
+	ctx := make([]byte, kflex.HookBench.CtxSize)
+	appendEntry := func(seq, payload uint64) {
+		binary.LittleEndian.PutUint64(ctx[8:], seq)
+		binary.LittleEndian.PutUint64(ctx[16:], payload)
+		if res, err := h.Run(nil, ctx); err != nil || res.Ret != 0 {
+			log.Fatalf("append: ret=%d err=%v", res.Ret, err)
+		}
+	}
+
+	// Fast path: the extension appends 10 entries.
+	for seq := uint64(1); seq <= 10; seq++ {
+		appendEntry(seq, seq*100)
+	}
+
+	// Slow path: user space walks the shared structure with ordinary
+	// loads — stored pointers are already user VAs — under the same lock.
+	uv, _ := ext.UserView()
+	ul, _ := ext.UserLocks()
+	lockAddr := uv.Base() + gLock
+	if !ul.Lock(lockAddr, nil) {
+		log.Fatal("user lock failed")
+	}
+	count := 0
+	ptr, _ := uv.Load(uv.Base()+gHead, 8)
+	for ptr != 0 {
+		seq, _ := uv.Load(ptr+eSeq, 8)
+		val, _ := uv.Load(ptr+eVal, 8)
+		if count < 3 {
+			fmt.Printf("  user-space GC sees entry seq=%d payload=%d at %#x\n", seq, val, ptr)
+		}
+		count++
+		ptr, _ = uv.Load(ptr+eNext, 8)
+	}
+	fmt.Printf("collector walked %d entries\n", count)
+
+	// Prune entries with seq <= 5 (the "expired" ones), still user-side.
+	var kept int
+	prevAddr := uv.Base() + gHead
+	ptr, _ = uv.Load(prevAddr, 8)
+	for ptr != 0 {
+		seq, _ := uv.Load(ptr+eSeq, 8)
+		next, _ := uv.Load(ptr+eNext, 8)
+		if seq <= 5 {
+			must(uv.Store(prevAddr, 8, next)) // unlink
+			must(ext.UserFree(ptr))           // back to the shared allocator
+		} else {
+			prevAddr = ptr + eNext
+			kept++
+		}
+		ptr = next
+	}
+	if err := ul.Unlock(lockAddr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collector pruned down to %d entries\n", kept)
+
+	// Fast path continues over the pruned structure.
+	appendEntry(11, 1100)
+	ptr, _ = uv.Load(uv.Base()+gHead, 8)
+	seq, _ := uv.Load(ptr+eSeq, 8)
+	fmt.Printf("extension appended seq=%d after the GC pass; allocator: %+v\n",
+		seq, ext.Alloc().Stats())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// kvstore reproduces Listing 1 of the paper: a KFlex extension at the XDP
+// hook implementing a key-value store backed by a linked list of heap
+// nodes, protected by a KFlex spin lock, that serves update and delete
+// requests — releasing a looked-up socket reference on every path.
+//
+// The example then demonstrates what makes this extension impossible as
+// plain eBPF (the unbounded list walk and kflex_malloc), and finishes by
+// loading a buggy variant that never terminates, showing extension
+// cancellation restore the kernel to a quiescent state: the acquired
+// socket reference is released and the packet gets the hook's default
+// verdict.
+//
+// Run with: go run ./examples/kvstore
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"kflex"
+	"kflex/asm"
+	"kflex/insn"
+	"kflex/internal/netsim"
+)
+
+// Packet layout: op u8 @0, key u32 @1, value u32 @5 (9 bytes).
+const (
+	opUpdate = 0
+	opDelete = 1
+)
+
+// Node layout in the extension heap (struct elem of Listing 1).
+const (
+	nKey  = 0
+	nVal  = 8
+	nNext = 16
+	nPrev = 24
+	nSize = 32
+)
+
+// Heap globals: head pointer and the spin lock.
+const (
+	gHead = kflex.GlobalsOff
+	gLock = kflex.GlobalsOff + 8
+)
+
+// program builds Listing 1. The flow mirrors the paper line by line:
+// parse the packet, take the lock, walk the list, look up the UDP socket
+// for existing connections, update or delete, release, unlock.
+func program() []insn.Instruction {
+	b := asm.New()
+	b.Mov(insn.R9, insn.R1) // ctx
+	b.Call(kflex.HelperKflexHeapBase)
+	b.Mov(insn.R8, insn.R0) // heap base
+
+	// if (!check_ipv4_udp(ctx)) return XDP_DROP;  -- length check here.
+	b.Load(insn.R2, insn.R9, 0, 4) // ctx->data_len
+	b.JmpImm(insn.JmpLt, insn.R2, 9, "drop")
+
+	// Parse op/key/value from the packet into the stack (the packet
+	// helpers play the role of Listing 1's get_key/get_value).
+	b.Mov(insn.R1, insn.R9)
+	b.MovImm(insn.R2, 0)
+	b.Mov(insn.R3, insn.R10)
+	b.Add(insn.R3, -16)
+	b.MovImm(insn.R4, 9)
+	b.Call(kflex.HelperPktLoadBytes)
+	b.JmpImm(insn.JmpNe, insn.R0, 0, "drop")
+	b.Load(insn.R7, insn.R10, -15, 4) // key (u32 at packet offset 1)
+
+	// init_sock_tuple(ctx, &tup): zero 12 bytes at fp-32.
+	b.StoreImm(insn.R10, -32, 0, 8)
+	b.StoreImm(insn.R10, -24, 0, 4)
+
+	// kflex_spin_lock(&lock);
+	b.Mov(insn.R1, insn.R8)
+	b.Add(insn.R1, gLock)
+	b.Call(kflex.HelperKflexSpinLock)
+
+	// struct elem *e = head; while (e != NULL) { ... }
+	b.Load(insn.R6, insn.R8, gHead, 8)
+	b.Label("loop")
+	b.JmpImm(insn.JmpEq, insn.R6, 0, "miss")
+	b.Load(insn.R0, insn.R6, nKey, 8)
+	b.JmpReg(insn.JmpEq, insn.R0, insn.R7, "found")
+	b.Load(insn.R6, insn.R6, nNext, 8) // e = e->next
+	b.Ja("loop")
+
+	// Key present: only handle packets for existing UDP sockets
+	// (Listing 1 line 33: sk = bpf_sk_lookup_udp(...)).
+	b.Label("found")
+	b.Mov(insn.R1, insn.R9)
+	b.Mov(insn.R2, insn.R10)
+	b.Add(insn.R2, -32)
+	b.MovImm(insn.R3, 12)
+	b.MovImm(insn.R4, 0)
+	b.MovImm(insn.R5, 0)
+	b.Call(kflex.HelperSkLookup)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "miss") // if (!sk) break;
+	b.Store(insn.R10, -40, insn.R0, 8)       // keep sk for release
+
+	// switch (get_request_type(ctx)): op at packet byte 0 -> stack -16.
+	b.Load(insn.R1, insn.R10, -16, 1)
+	b.JmpImm(insn.JmpEq, insn.R1, opDelete, "delete")
+
+	// case 0: e->value = get_value(ctx);
+	b.Load(insn.R2, insn.R10, -11, 4) // value (u32 at packet offset 5)
+	b.Store(insn.R6, nVal, insn.R2, 8)
+	b.Ja("release")
+
+	// case 1: list_delete(head, e); kflex_free(e);
+	b.Label("delete")
+	b.Load(insn.R3, insn.R6, nNext, 8)
+	b.Load(insn.R4, insn.R6, nPrev, 8)
+	b.JmpImm(insn.JmpEq, insn.R4, 0, "del-head")
+	b.Store(insn.R4, nNext, insn.R3, 8)
+	b.Ja("del-fix")
+	b.Label("del-head")
+	b.Store(insn.R8, gHead, insn.R3, 8)
+	b.Label("del-fix")
+	b.JmpImm(insn.JmpEq, insn.R3, 0, "del-free")
+	b.Store(insn.R3, nPrev, insn.R4, 8)
+	b.Label("del-free")
+	b.Mov(insn.R1, insn.R6)
+	b.Call(kflex.HelperKflexFree)
+
+	// bpf_sk_release(sk);
+	b.Label("release")
+	b.Load(insn.R1, insn.R10, -40, 8)
+	b.Call(kflex.HelperSkRelease)
+
+	// kflex_spin_unlock(&lock); return XDP_DROP;
+	b.Label("miss")
+	b.Mov(insn.R1, insn.R8)
+	b.Add(insn.R1, gLock)
+	b.Call(kflex.HelperKflexSpinUnlock)
+	b.Ret(kflex.XDPDrop)
+	b.Label("drop")
+	b.Ret(kflex.XDPDrop)
+	return b.MustAssemble()
+}
+
+func packet(op byte, key, value uint32, sock *kflex.KernelObject) *netsim.Packet {
+	data := make([]byte, 9)
+	data[0] = op
+	binary.LittleEndian.PutUint32(data[1:], key)
+	binary.LittleEndian.PutUint32(data[5:], value)
+	return &netsim.Packet{Data: data, Sock: sock}
+}
+
+func main() {
+	rt := kflex.NewRuntime()
+	ext, err := rt.Load(kflex.Spec{
+		Name:     "kvstore",
+		Insns:    program(),
+		Hook:     kflex.HookXDP,
+		Mode:     kflex.ModeKFlex,
+		HeapSize: 16 << 20, // kflex_heap(...) of Listing 1, scaled down
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ext.Close()
+	fmt.Println("Listing 1 loaded:", ext.Report())
+
+	// Plain eBPF rejects this program: the while(e) walk has no provable
+	// bound. Demonstrate by loading the same bytecode in eBPF mode.
+	if _, err := rt.Load(kflex.Spec{
+		Name: "kvstore-ebpf", Insns: program(), Hook: kflex.HookXDP, Mode: kflex.ModeEBPF,
+	}); err != nil {
+		fmt.Println("as expected, eBPF mode rejects it:", err)
+	}
+
+	// Seed three keys by building list nodes from user space through the
+	// shared heap — the §3.4 co-design facility: the application and the
+	// extension operate on the same structure.
+	uv, _ := ext.UserView()
+	var prev uint64
+	for key := uint32(1); key <= 3; key++ {
+		nodeUser, err := ext.UserMalloc(nSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		must(uv.Store(nodeUser+nKey, 8, uint64(key)))
+		must(uv.Store(nodeUser+nVal, 8, 0))
+		must(uv.Store(nodeUser+nNext, 8, prev))
+		must(uv.Store(nodeUser+nPrev, 8, 0))
+		prev = nodeUser
+	}
+	// Head is stored as an extension VA (translate-on-store is off here).
+	must(uv.Store(uv.Base()+gHead, 8, ext.Heap().TranslateToExt(prev)))
+
+	sock := kflex.NewKernelObject("sock", nil)
+	h := ext.Handle(0)
+
+	// Update key 2 to value 42.
+	pkt := packet(opUpdate, 2, 42, sock)
+	res, err := h.Run(pkt, pkt.XDPCtx(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update key=2: verdict=%d, socket refs=%d (released on every path)\n",
+		res.Ret, sock.Refs())
+
+	// Delete key 1 (frees the node with kflex_free).
+	pkt = packet(opDelete, 1, 0, sock)
+	if _, err := h.Run(pkt, pkt.XDPCtx(0)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delete key=1: allocator stats %+v\n", ext.Alloc().Stats())
+
+	// Finally: a buggy variant that never terminates. The watchdog's
+	// quantum makes the *terminate probe fault; cancellation releases the
+	// held socket and returns the hook default (XDP_PASS for networking).
+	demoCancellation(sock)
+	fmt.Printf("after cancellation demo: socket refs=%d (reference released by unwinding)\n", sock.Refs())
+}
+
+// demoCancellation loads a spinning extension that acquires the socket and
+// never releases it, then shows cancellation clean up.
+func demoCancellation(sock *kflex.KernelObject) {
+	b := asm.New()
+	b.Mov(insn.R9, insn.R1)
+	b.Call(kflex.HelperKflexHeapBase)
+	b.Mov(insn.R8, insn.R0)
+	b.StoreImm(insn.R10, -16, 0, 8)
+	b.StoreImm(insn.R10, -8, 0, 4)
+	b.Mov(insn.R1, insn.R9)
+	b.Mov(insn.R2, insn.R10)
+	b.Add(insn.R2, -16)
+	b.MovImm(insn.R3, 12)
+	b.MovImm(insn.R4, 0)
+	b.MovImm(insn.R5, 0)
+	b.Call(kflex.HelperSkLookup)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "out")
+	b.Mov(insn.R6, insn.R0)
+	b.Label("spin") // while (1) touch the heap
+	b.Load(insn.R2, insn.R8, 64, 8)
+	b.Ja("spin")
+	b.Label("out")
+	b.Ret(kflex.XDPDrop)
+
+	rt := kflex.NewRuntime()
+	ext, err := rt.Load(kflex.Spec{
+		Name: "runaway", Insns: b.MustAssemble(), Hook: kflex.HookXDP,
+		Mode: kflex.ModeKFlex, HeapSize: 1 << 16, QuantumInsns: 50_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ext.Close()
+	pkt := packet(opUpdate, 1, 0, sock)
+	res, err := ext.Handle(0).Run(pkt, pkt.XDPCtx(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("runaway extension: cancelled=%v, verdict=%d (hook default), unloaded=%v\n",
+		res.Cancelled, res.Ret, ext.Unloaded())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

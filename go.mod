@@ -1,0 +1,3 @@
+module kflex
+
+go 1.24

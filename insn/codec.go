@@ -1,0 +1,106 @@
+package insn
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SlotSize is the byte size of one encoded instruction slot.
+const SlotSize = 8
+
+// Encode serializes a program into the 8-byte-per-slot eBPF wire format
+// (little-endian, dst in the low register nibble). LDDW instructions occupy
+// two slots with the high 32 immediate bits in the second slot.
+//
+// In-memory jump offsets count decoded instructions (LDDW is one element);
+// on the wire they count slots (LDDW is two), so Encode rewrites branch
+// offsets accordingly and Decode reverses the mapping.
+func Encode(prog []Instruction) ([]byte, error) {
+	// slotOf[i] is the first wire slot of instruction i.
+	slotOf := make([]int, len(prog)+1)
+	for i, ins := range prog {
+		slotOf[i+1] = slotOf[i] + ins.Slots()
+	}
+	var out []byte
+	for i, ins := range prog {
+		if !ins.Dst.Valid() || !ins.Src.Valid() {
+			return nil, fmt.Errorf("insn %d: invalid register (dst=%d src=%d)", i, ins.Dst, ins.Src)
+		}
+		if ins.IsJump() {
+			target := i + 1 + int(ins.Off)
+			if target < 0 || target > len(prog) {
+				return nil, fmt.Errorf("insn %d: jump target %d out of range", i, target)
+			}
+			ins.Off = int16(slotOf[target] - (slotOf[i] + 1))
+		}
+		var b [SlotSize]byte
+		b[0] = byte(ins.Op)
+		b[1] = byte(ins.Dst) | byte(ins.Src)<<4
+		binary.LittleEndian.PutUint16(b[2:], uint16(ins.Off))
+		if ins.IsLoadImm64() {
+			binary.LittleEndian.PutUint32(b[4:], uint32(ins.Imm64))
+			out = append(out, b[:]...)
+			var hi [SlotSize]byte
+			binary.LittleEndian.PutUint32(hi[4:], uint32(ins.Imm64>>32))
+			out = append(out, hi[:]...)
+			continue
+		}
+		binary.LittleEndian.PutUint32(b[4:], uint32(ins.Imm))
+		out = append(out, b[:]...)
+	}
+	return out, nil
+}
+
+// Decode parses wire-format bytecode produced by Encode (or by an eBPF
+// toolchain) back into instructions, fusing LDDW slot pairs.
+func Decode(raw []byte) ([]Instruction, error) {
+	if len(raw)%SlotSize != 0 {
+		return nil, fmt.Errorf("insn: bytecode length %d is not a multiple of %d", len(raw), SlotSize)
+	}
+	var prog []Instruction
+	idxOfSlot := make(map[int]int) // wire slot -> decoded index
+	var slotOfIdx []int            // decoded index -> first wire slot
+	for i := 0; i < len(raw); i += SlotSize {
+		start := i / SlotSize
+		b := raw[i : i+SlotSize]
+		ins := Instruction{
+			Op:  Opcode(b[0]),
+			Dst: Reg(b[1] & 0x0f),
+			Src: Reg(b[1] >> 4),
+			Off: int16(binary.LittleEndian.Uint16(b[2:])),
+			Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+		}
+		if !ins.Dst.Valid() || !ins.Src.Valid() {
+			return nil, fmt.Errorf("insn: slot %d: invalid register encoding", i/SlotSize)
+		}
+		if ins.IsLoadImm64() {
+			if i+2*SlotSize > len(raw) {
+				return nil, fmt.Errorf("insn: slot %d: truncated LDDW", i/SlotSize)
+			}
+			hi := raw[i+SlotSize : i+2*SlotSize]
+			if hi[0] != 0 || hi[1] != 0 || binary.LittleEndian.Uint16(hi[2:]) != 0 {
+				return nil, fmt.Errorf("insn: slot %d: malformed LDDW second slot", i/SlotSize)
+			}
+			ins.Imm64 = uint64(uint32(ins.Imm)) | uint64(binary.LittleEndian.Uint32(hi[4:]))<<32
+			i += SlotSize
+		}
+		idxOfSlot[start] = len(prog)
+		slotOfIdx = append(slotOfIdx, start)
+		prog = append(prog, ins)
+	}
+	totalSlots := len(raw) / SlotSize
+	idxOfSlot[totalSlots] = len(prog)
+	// Rewrite branch offsets from slot counting to element counting.
+	for i := range prog {
+		if !prog[i].IsJump() {
+			continue
+		}
+		targetSlot := slotOfIdx[i] + 1 + int(prog[i].Off)
+		idx, ok := idxOfSlot[targetSlot]
+		if !ok {
+			return nil, fmt.Errorf("insn %d: jump lands inside an LDDW pair (slot %d)", i, targetSlot)
+		}
+		prog[i].Off = int16(idx - (i + 1))
+	}
+	return prog, nil
+}

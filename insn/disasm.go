@@ -1,0 +1,102 @@
+package insn
+
+import (
+	"fmt"
+	"strings"
+)
+
+var aluNames = map[uint8]string{
+	AluAdd: "+=", AluSub: "-=", AluMul: "*=", AluDiv: "/=",
+	AluOr: "|=", AluAnd: "&=", AluLsh: "<<=", AluRsh: ">>=",
+	AluMod: "%=", AluXor: "^=", AluMov: "=", AluArsh: "s>>=",
+}
+
+var jmpNames = map[uint8]string{
+	JmpEq: "==", JmpGt: ">", JmpGe: ">=", JmpSet: "&",
+	JmpNe: "!=", JmpSgt: "s>", JmpSge: "s>=", JmpLt: "<",
+	JmpLe: "<=", JmpSlt: "s<", JmpSle: "s<=",
+}
+
+var sizeNames = map[uint8]string{SizeB: "u8", SizeH: "u16", SizeW: "u32", SizeDW: "u64"}
+
+// String renders the instruction in the pseudo-C style used by bpftool
+// (e.g. "r1 = *(u32 *)(r2 + 8)").
+func (ins Instruction) String() string {
+	op := ins.Op
+	switch {
+	case op == OpGuard:
+		return fmt.Sprintf("%v = guard(%v)", ins.Dst, ins.Dst)
+	case op == OpGuardRd:
+		return fmt.Sprintf("%v = guard_rd(%v)", ins.Dst, ins.Dst)
+	case op == OpProbe:
+		return fmt.Sprintf("probe_terminate cp=%d", ins.Imm)
+	case op == OpXlat:
+		return fmt.Sprintf("%v = xlat(%v)", ins.Dst, ins.Dst)
+	case ins.IsLoadImm64():
+		return fmt.Sprintf("%v = %#x ll", ins.Dst, ins.Imm64)
+	}
+	switch op.Class() {
+	case ClassALU, ClassALU64:
+		w := func(r Reg) string {
+			if op.Class() == ClassALU {
+				return "w" + strings.TrimPrefix(r.String(), "r")
+			}
+			return r.String()
+		}
+		if op.AluOp() == AluNeg {
+			return fmt.Sprintf("%s = -%s", w(ins.Dst), w(ins.Dst))
+		}
+		if op.AluOp() == AluEnd {
+			return fmt.Sprintf("%s = bswap%d %s", w(ins.Dst), ins.Imm, w(ins.Dst))
+		}
+		name, ok := aluNames[op.AluOp()]
+		if !ok {
+			return fmt.Sprintf("<invalid alu %#02x>", uint8(op))
+		}
+		if op.UsesImm() {
+			return fmt.Sprintf("%s %s %d", w(ins.Dst), name, ins.Imm)
+		}
+		return fmt.Sprintf("%s %s %s", w(ins.Dst), name, w(ins.Src))
+	case ClassJMP, ClassJMP32:
+		switch op.JmpOp() {
+		case JmpA:
+			return fmt.Sprintf("goto %+d", ins.Off)
+		case JmpCall:
+			return fmt.Sprintf("call %d", ins.Imm)
+		case JmpExit:
+			return "exit"
+		}
+		name, ok := jmpNames[op.JmpOp()]
+		if !ok {
+			return fmt.Sprintf("<invalid jmp %#02x>", uint8(op))
+		}
+		pfx := "r"
+		if op.Class() == ClassJMP32 {
+			pfx = "w"
+		}
+		lhs := fmt.Sprintf("%s%d", pfx, ins.Dst)
+		if op.UsesImm() {
+			return fmt.Sprintf("if %s %s %d goto %+d", lhs, name, ins.Imm, ins.Off)
+		}
+		return fmt.Sprintf("if %s %s %s%d goto %+d", lhs, name, pfx, ins.Src, ins.Off)
+	case ClassLDX:
+		return fmt.Sprintf("%v = *(%s *)(%v %+d)", ins.Dst, sizeNames[op.Size()], ins.Src, ins.Off)
+	case ClassST:
+		return fmt.Sprintf("*(%s *)(%v %+d) = %d", sizeNames[op.Size()], ins.Dst, ins.Off, ins.Imm)
+	case ClassSTX:
+		if op.Mode() == ModeATOMIC {
+			return fmt.Sprintf("atomic(%#x) *(%s *)(%v %+d), %v", ins.Imm, sizeNames[op.Size()], ins.Dst, ins.Off, ins.Src)
+		}
+		return fmt.Sprintf("*(%s *)(%v %+d) = %v", sizeNames[op.Size()], ins.Dst, ins.Off, ins.Src)
+	}
+	return fmt.Sprintf("<invalid op %#02x>", uint8(op))
+}
+
+// Disassemble renders a whole program with instruction indices.
+func Disassemble(prog []Instruction) string {
+	var sb strings.Builder
+	for i, ins := range prog {
+		fmt.Fprintf(&sb, "%4d: %s\n", i, ins.String())
+	}
+	return sb.String()
+}

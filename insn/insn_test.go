@@ -1,0 +1,315 @@
+package insn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	if R3.String() != "r3" {
+		t.Fatalf("R3.String() = %q", R3.String())
+	}
+	if !R10.Valid() {
+		t.Fatal("R10 should be valid")
+	}
+	if Reg(11).Valid() {
+		t.Fatal("Reg(11) should be invalid")
+	}
+}
+
+func TestOpcodeAccessors(t *testing.T) {
+	ld := LoadMem(R1, R2, 8, 4)
+	if ld.Op.Class() != ClassLDX {
+		t.Errorf("class = %#x, want LDX", ld.Op.Class())
+	}
+	if ld.Op.SizeBytes() != 4 {
+		t.Errorf("size = %d, want 4", ld.Op.SizeBytes())
+	}
+	st := StoreMem(R10, -8, R3, 8)
+	if st.Op.Class() != ClassSTX || st.Op.SizeBytes() != 8 {
+		t.Errorf("store opcode wrong: %#x", uint8(st.Op))
+	}
+	add := Alu64Imm(AluAdd, R1, 7)
+	if add.Op.AluOp() != AluAdd || !add.Op.UsesImm() {
+		t.Errorf("add opcode wrong: %#x", uint8(add.Op))
+	}
+	jr := JmpReg(JmpSgt, R1, R2, 5)
+	if jr.Op.JmpOp() != JmpSgt || jr.Op.UsesImm() {
+		t.Errorf("jmp opcode wrong: %#x", uint8(jr.Op))
+	}
+}
+
+func TestSizeOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SizeOf(3) did not panic")
+		}
+	}()
+	SizeOf(3)
+}
+
+func TestClassifiers(t *testing.T) {
+	cases := []struct {
+		ins                          Instruction
+		jump, cond, exit, call, load bool
+	}{
+		{Ja(3), true, false, false, false, false},
+		{JmpImm(JmpEq, R1, 0, 2), true, true, false, false, false},
+		{Jmp32Reg(JmpLt, R1, R2, 2), true, true, false, false, false},
+		{Exit(), false, false, true, false, false},
+		{Call(12), false, false, false, true, false},
+		{Mov64Imm(R0, 0), false, false, false, false, false},
+		{LoadImm(R1, 1<<40), false, false, false, false, true},
+	}
+	for i, c := range cases {
+		if c.ins.IsJump() != c.jump || c.ins.IsCond() != c.cond ||
+			c.ins.IsExit() != c.exit || c.ins.IsCall() != c.call {
+			t.Errorf("case %d (%v): classifiers wrong", i, c.ins)
+		}
+		if c.ins.IsLoadImm64() != c.load {
+			t.Errorf("case %d: IsLoadImm64 = %v", i, c.ins.IsLoadImm64())
+		}
+	}
+}
+
+func TestInternalOpcodesDistinct(t *testing.T) {
+	ops := []Opcode{OpGuard, OpGuardRd, OpProbe, OpXlat}
+	seen := map[Opcode]bool{}
+	for _, op := range ops {
+		if !op.IsInternal() {
+			t.Errorf("op %#x not marked internal", uint8(op))
+		}
+		if seen[op] {
+			t.Errorf("op %#x duplicated", uint8(op))
+		}
+		seen[op] = true
+		// Must not collide with any assigned ALU64 operation.
+		if op.AluOp() <= AluEnd {
+			t.Errorf("op %#x collides with assigned ALU op %#x", uint8(op), op.AluOp())
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prog := []Instruction{
+		Mov64Imm(R0, -1),
+		LoadImm(R1, 0xdeadbeefcafe0123),
+		LoadMem(R2, R1, -16, 2),
+		StoreImm(R10, -8, 42, 4),
+		StoreMem(R10, -16, R2, 8),
+		Atomic(AtomicAdd|AtomicFetch, R1, 0, R2, 8),
+		JmpImm(JmpSge, R2, -5, 3),
+		Jmp32Imm(JmpNe, R2, 7, -2),
+		Call(33),
+		Neg64(R3),
+		Alu32Reg(AluXor, R4, R5),
+		Exit(),
+	}
+	raw, err := Encode(prog)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	wantSlots := 0
+	for _, ins := range prog {
+		wantSlots += ins.Slots()
+	}
+	if len(raw) != wantSlots*SlotSize {
+		t.Fatalf("encoded %d bytes, want %d", len(raw), wantSlots*SlotSize)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("decoded %d insns, want %d", len(got), len(prog))
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Errorf("insn %d: got %+v want %+v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 7)); err == nil {
+		t.Error("odd length accepted")
+	}
+	// Truncated LDDW.
+	raw, _ := Encode([]Instruction{Mov64Imm(R0, 0)})
+	raw[0] = byte(LoadImm64)
+	if _, err := Decode(raw); err == nil {
+		t.Error("truncated LDDW accepted")
+	}
+	// Invalid register nibble.
+	raw, _ = Encode([]Instruction{Mov64Imm(R0, 0)})
+	raw[1] = 0x0f // dst = r15
+	if _, err := Decode(raw); err == nil {
+		t.Error("invalid register accepted")
+	}
+	// Malformed LDDW second slot.
+	raw, _ = Encode([]Instruction{LoadImm(R1, 99)})
+	raw[SlotSize] = 0x07
+	if _, err := Decode(raw); err == nil {
+		t.Error("malformed LDDW second slot accepted")
+	}
+}
+
+func TestEncodeRejectsInvalidReg(t *testing.T) {
+	if _, err := Encode([]Instruction{{Op: ClassALU64 | AluMov | SrcK, Dst: Reg(12)}}); err == nil {
+		t.Error("Encode accepted dst=r12")
+	}
+}
+
+// quickInsn builds a random but well-formed instruction for round-trip tests.
+func quickInsn(r *rand.Rand) Instruction {
+	dst := Reg(r.Intn(NumRegs))
+	src := Reg(r.Intn(NumRegs))
+	off := int16(r.Uint32())
+	imm := int32(r.Uint32())
+	switch r.Intn(7) {
+	case 0:
+		return Alu64Reg(uint8(r.Intn(13))<<4, dst, src)
+	case 1:
+		return Alu32Imm(uint8(r.Intn(13))<<4, dst, imm)
+	case 2:
+		return LoadMem(dst, src, off, 1<<uint(r.Intn(4)))
+	case 3:
+		return StoreMem(dst, off, src, 1<<uint(r.Intn(4)))
+	case 4:
+		return JmpImm(uint8(1+r.Intn(7))<<4, dst, imm, off)
+	case 5:
+		return LoadImm(dst, r.Uint64())
+	default:
+		return Call(imm)
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := make([]Instruction, 0, int(n%32)+1)
+		for i := 0; i <= int(n%32); i++ {
+			prog = append(prog, quickInsn(r))
+		}
+		// Retarget jumps to random valid destinations: Encode validates
+		// that branch targets land within the program.
+		for i := range prog {
+			if prog[i].IsJump() {
+				prog[i].Off = int16(r.Intn(len(prog)+1) - (i + 1))
+			}
+		}
+		raw, err := Encode(prog)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(raw)
+		if err != nil || len(got) != len(prog) {
+			return false
+		}
+		for i := range prog {
+			if got[i] != prog[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	prog := []Instruction{
+		Mov64Imm(R1, 10),
+		LoadMem(R2, R1, 8, 4),
+		JmpImm(JmpEq, R2, 0, 1),
+		Guard(R2),
+		Probe(3),
+		Xlat(R4),
+		GuardRd(R5),
+		Exit(),
+	}
+	out := Disassemble(prog)
+	for _, want := range []string{
+		"r1 = 10",
+		"r2 = *(u32 *)(r1 +8)",
+		"if r2 == 0 goto +1",
+		"guard(r2)",
+		"probe_terminate cp=3",
+		"xlat(r4)",
+		"guard_rd(r5)",
+		"exit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassembleForms(t *testing.T) {
+	cases := map[string]Instruction{
+		"w3 = -w3":                        Alu32Reg(AluNeg, R3, R0),
+		"r1 s>>= 3":                       Alu64Imm(AluArsh, R1, 3),
+		"goto +5":                         Ja(5),
+		"call 7":                          Call(7),
+		"if w1 s< w2 goto -3":             Jmp32Reg(JmpSlt, R1, R2, -3),
+		"*(u16 *)(r10 -4) = 9":            StoreImm(R10, -4, 9, 2),
+		"atomic(0x1) *(u64 *)(r1 +0), r2": Atomic(AtomicAdd|AtomicFetch, R1, 0, R2, 8),
+	}
+	for want, ins := range cases {
+		if got := ins.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestJumpOffsetsAcrossLDDW(t *testing.T) {
+	// Element 0 jumps over an LDDW (2 wire slots) to element 2.
+	prog := []Instruction{
+		JmpImm(JmpEq, R1, 0, 1), // -> element 2
+		LoadImm(R2, 0x1122334455667788),
+		Exit(),
+	}
+	raw, err := Encode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the wire, the branch must skip 2 slots.
+	wireOff := int16(uint16(raw[2]) | uint16(raw[3])<<8)
+	if wireOff != 2 {
+		t.Fatalf("wire offset = %d, want 2", wireOff)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Off != 1 {
+		t.Fatalf("decoded offset = %d, want 1", got[0].Off)
+	}
+}
+
+func TestDecodeRejectsJumpIntoLDDW(t *testing.T) {
+	prog := []Instruction{
+		Ja(1), // fine as elements...
+		LoadImm(R2, 7),
+		Exit(),
+	}
+	raw, err := Encode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[2] = 1 // retarget wire offset to land on LDDW's second slot
+	raw[3] = 0
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("jump into LDDW pair accepted")
+	}
+}
+
+func TestEncodeRejectsOutOfRangeJump(t *testing.T) {
+	if _, err := Encode([]Instruction{Ja(5), Exit()}); err == nil {
+		t.Fatal("out-of-range jump accepted")
+	}
+}

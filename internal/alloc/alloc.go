@@ -1,0 +1,326 @@
+// Package alloc implements the KFlex memory allocator (§3.2, §4.1 of the
+// paper): extension-heap memory served from per-CPU caches of size-class
+// blocks, backed by a global list and a bump region, with heap pages
+// populated on demand as runs are carved. The paper backs the global pool
+// with jemalloc in user space and refills per-CPU caches from a background
+// thread; here the pool is implemented directly on the heap, with the same
+// architecture (per-CPU magazine → global list → fresh run) and an optional
+// background refiller.
+package alloc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kflex/internal/heap"
+)
+
+const (
+	// ReservedRegion is the start of allocatable space: the first page
+	// holds the terminate word and extension globals.
+	ReservedRegion = heap.PageSize
+	// headerSize precedes every block, recording its size class.
+	headerSize = 16
+	// minClass and maxClass bound the size classes (powers of two).
+	minClass = 16
+	maxClass = 4096
+	// runPages is how many pages a fresh size-class run carves.
+	runPages = 4
+	// cacheCap bounds a per-CPU cache per class; half is flushed to the
+	// global list on overflow.
+	cacheCap = 64
+	// refillLow is the watermark below which the background refiller
+	// tops up a per-CPU cache (§4.1).
+	refillLow = 8
+
+	headerMagic = 0x6b666c78 // "kflx"
+	hugeClass   = 0xff
+)
+
+// numClasses is the number of size classes (16..4096, doubling).
+const numClasses = 9
+
+func classFor(size uint64) (int, bool) {
+	if size == 0 {
+		size = 1
+	}
+	c := uint64(minClass)
+	for i := 0; i < numClasses; i++ {
+		if size <= c {
+			return i, true
+		}
+		c <<= 1
+	}
+	return 0, false
+}
+
+func classSize(class int) uint64 { return minClass << class }
+
+// Allocator manages one extension heap. It implements kernel.Allocator.
+type Allocator struct {
+	h    *heap.Heap
+	view heap.View
+
+	mu     sync.Mutex // guards bump + global lists
+	bump   uint64     // next unallocated heap offset
+	global [numClasses][]uint64
+
+	cpus []cpuCache
+
+	stats   Stats
+	statsMu sync.Mutex
+
+	refillStop chan struct{}
+	refillWG   sync.WaitGroup
+}
+
+type cpuCache struct {
+	mu   sync.Mutex
+	free [numClasses][]uint64
+}
+
+// Stats reports allocator activity.
+type Stats struct {
+	Allocs, Frees   uint64
+	Refills, Spills uint64
+	BumpBytes       uint64
+	HugeAllocs      uint64
+}
+
+// New creates an allocator over h for the given number of simulated CPUs.
+func New(h *heap.Heap, cpus int) *Allocator {
+	if cpus < 1 {
+		cpus = 1
+	}
+	return &Allocator{
+		h:    h,
+		view: h.ExtView(),
+		bump: ReservedRegion,
+		cpus: make([]cpuCache, cpus),
+	}
+}
+
+// Stats returns a snapshot of allocator counters.
+func (a *Allocator) Stats() Stats {
+	a.statsMu.Lock()
+	defer a.statsMu.Unlock()
+	return a.stats
+}
+
+func (a *Allocator) count(f func(*Stats)) {
+	a.statsMu.Lock()
+	f(&a.stats)
+	a.statsMu.Unlock()
+}
+
+// Malloc allocates at least size bytes and returns the extension VA of the
+// block, or 0 when the heap is exhausted (kflex_malloc's contract).
+func (a *Allocator) Malloc(cpu int, size uint64) uint64 {
+	class, ok := classFor(size)
+	if !ok {
+		return a.mallocHuge(size)
+	}
+	c := &a.cpus[cpu%len(a.cpus)]
+	c.mu.Lock()
+	if n := len(c.free[class]); n > 0 {
+		off := c.free[class][n-1]
+		c.free[class] = c.free[class][:n-1]
+		c.mu.Unlock()
+		a.count(func(s *Stats) { s.Allocs++ })
+		return a.h.ExtBase() + off + headerSize
+	}
+	c.mu.Unlock()
+
+	// Refill from the global list or carve a fresh run.
+	blocks := a.refill(class)
+	if blocks == nil {
+		return 0
+	}
+	off := blocks[len(blocks)-1]
+	rest := blocks[:len(blocks)-1]
+	c.mu.Lock()
+	c.free[class] = append(c.free[class], rest...)
+	c.mu.Unlock()
+	a.count(func(s *Stats) { s.Allocs++; s.Refills++ })
+	return a.h.ExtBase() + off + headerSize
+}
+
+// refill obtains a batch of blocks of the class, from the global pool or by
+// carving a new run; block headers are initialized here.
+func (a *Allocator) refill(class int) []uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.global[class]); n > 0 {
+		take := cacheCap / 2
+		if take > n {
+			take = n
+		}
+		out := make([]uint64, take)
+		copy(out, a.global[class][n-take:])
+		a.global[class] = a.global[class][:n-take]
+		return out
+	}
+	// Carve a run of pages into blocks.
+	bs := classSize(class) + headerSize
+	runBytes := uint64(runPages * heap.PageSize)
+	start := a.bump
+	if start+runBytes > a.h.Size() {
+		return nil
+	}
+	if err := a.h.Populate(start, runBytes); err != nil {
+		return nil
+	}
+	a.bump += runBytes
+	a.stats.BumpBytes += runBytes
+	var out []uint64
+	for off := start; off+bs <= start+runBytes; off += bs {
+		if err := a.writeHeader(off, uint64(class)); err != nil {
+			return nil
+		}
+		out = append(out, off)
+	}
+	return out
+}
+
+// mallocHuge serves allocations beyond the largest size class directly from
+// the bump region, page aligned.
+func (a *Allocator) mallocHuge(size uint64) uint64 {
+	pages := (size + headerSize + heap.PageSize - 1) / heap.PageSize
+	bytes := pages * heap.PageSize
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	start := a.bump
+	if start+bytes > a.h.Size() {
+		return 0
+	}
+	if err := a.h.Populate(start, bytes); err != nil {
+		return 0
+	}
+	a.bump += bytes
+	a.stats.BumpBytes += bytes
+	a.stats.HugeAllocs++
+	a.stats.Allocs++
+	if err := a.writeHeaderHuge(start, pages); err != nil {
+		return 0
+	}
+	return a.h.ExtBase() + start + headerSize
+}
+
+func (a *Allocator) writeHeader(off, class uint64) error {
+	return a.view.Store(a.h.ExtBase()+off, 8, headerMagic|class<<32)
+}
+
+func (a *Allocator) writeHeaderHuge(off, pages uint64) error {
+	return a.view.Store(a.h.ExtBase()+off, 8, headerMagic|hugeClass<<32|pages<<40)
+}
+
+// Free returns the block at extension VA addr. Bad pointers (not produced
+// by Malloc, double frees of reused headers, addresses outside the heap)
+// return an error; kflex_free surfaces it as -EINVAL to the extension.
+func (a *Allocator) Free(cpu int, addr uint64) error {
+	off := addr - a.h.ExtBase()
+	if off < ReservedRegion+headerSize || off >= a.h.Size() {
+		return fmt.Errorf("alloc: free of address %#x outside allocatable heap", addr)
+	}
+	hdrOff := off - headerSize
+	hdr, err := a.view.Load(a.h.ExtBase()+hdrOff, 8)
+	if err != nil {
+		return err
+	}
+	if uint32(hdr) != headerMagic {
+		return fmt.Errorf("alloc: free of %#x: bad block header", addr)
+	}
+	class := hdr >> 32 & 0xff
+	if class == hugeClass {
+		// Huge blocks are not recycled (bump region); this matches
+		// arenas where large extents return to the OS lazily.
+		a.count(func(s *Stats) { s.Frees++ })
+		return nil
+	}
+	if class >= numClasses {
+		return fmt.Errorf("alloc: free of %#x: invalid class %d", addr, class)
+	}
+	c := &a.cpus[cpu%len(a.cpus)]
+	c.mu.Lock()
+	c.free[class] = append(c.free[class], hdrOff)
+	spill := len(c.free[class]) > cacheCap
+	var spilled []uint64
+	if spill {
+		half := len(c.free[class]) / 2
+		spilled = append(spilled, c.free[class][half:]...)
+		c.free[class] = c.free[class][:half]
+	}
+	c.mu.Unlock()
+	if spill {
+		a.mu.Lock()
+		a.global[int(class)] = append(a.global[int(class)], spilled...)
+		a.mu.Unlock()
+		a.count(func(s *Stats) { s.Spills++ })
+	}
+	a.count(func(s *Stats) { s.Frees++ })
+	return nil
+}
+
+// StartRefiller launches the background thread that tops up per-CPU caches
+// from the global pool (§4.1). Stop it with StopRefiller.
+func (a *Allocator) StartRefiller(interval time.Duration) {
+	if a.refillStop != nil {
+		return
+	}
+	a.refillStop = make(chan struct{})
+	a.refillWG.Add(1)
+	go func() {
+		defer a.refillWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-a.refillStop:
+				return
+			case <-tick.C:
+				a.topUp()
+			}
+		}
+	}()
+}
+
+// StopRefiller stops the background refiller.
+func (a *Allocator) StopRefiller() {
+	if a.refillStop == nil {
+		return
+	}
+	close(a.refillStop)
+	a.refillWG.Wait()
+	a.refillStop = nil
+}
+
+func (a *Allocator) topUp() {
+	for i := range a.cpus {
+		c := &a.cpus[i]
+		for class := 0; class < numClasses; class++ {
+			c.mu.Lock()
+			low := len(c.free[class]) < refillLow && len(c.free[class]) > 0
+			c.mu.Unlock()
+			if !low {
+				continue
+			}
+			a.mu.Lock()
+			n := len(a.global[class])
+			take := refillLow
+			if take > n {
+				take = n
+			}
+			batch := append([]uint64(nil), a.global[class][n-take:]...)
+			a.global[class] = a.global[class][:n-take]
+			a.mu.Unlock()
+			if len(batch) == 0 {
+				continue
+			}
+			c.mu.Lock()
+			c.free[class] = append(c.free[class], batch...)
+			c.mu.Unlock()
+			a.count(func(s *Stats) { s.Refills++ })
+		}
+	}
+}

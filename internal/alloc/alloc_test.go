@@ -1,0 +1,217 @@
+package alloc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kflex/internal/heap"
+)
+
+func newAlloc(t *testing.T, size uint64, cpus int) (*Allocator, *heap.Heap) {
+	t.Helper()
+	h, err := heap.NewInArena(size, heap.NewKernelArena(), heap.NewUserArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(h, cpus), h
+}
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	a, h := newAlloc(t, 1<<20, 2)
+	addr := a.Malloc(0, 64)
+	if addr == 0 {
+		t.Fatal("malloc failed")
+	}
+	if addr < h.ExtBase()+ReservedRegion || addr >= h.ExtBase()+h.Size() {
+		t.Fatalf("block %#x outside allocatable heap", addr)
+	}
+	// The block's pages were populated on demand (§3.2).
+	v := h.ExtView()
+	if err := v.Store(addr, 8, 0xfeed); err != nil {
+		t.Fatalf("fresh block not usable: %v", err)
+	}
+	if err := a.Free(0, addr); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Allocs != 1 || st.Frees != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReuseAfterFree(t *testing.T) {
+	a, _ := newAlloc(t, 1<<20, 1)
+	first := a.Malloc(0, 100)
+	if err := a.Free(0, first); err != nil {
+		t.Fatal(err)
+	}
+	refills := a.Stats().Refills
+	// A free-then-malloc cycle is served from the caches: no new run is
+	// carved, and repeating it converges on recycling the same block.
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		addr := a.Malloc(0, 100)
+		if addr == 0 {
+			t.Fatal("exhausted")
+		}
+		if seen[addr] {
+			break // recycled: done
+		}
+		seen[addr] = true
+		if err := a.Free(0, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Stats().Refills != refills {
+		t.Fatalf("free/malloc cycles carved new runs: %d -> %d", refills, a.Stats().Refills)
+	}
+}
+
+func TestSizeClassesDistinct(t *testing.T) {
+	a, _ := newAlloc(t, 1<<22, 1)
+	small := a.Malloc(0, 16)
+	big := a.Malloc(0, 4096)
+	if small == 0 || big == 0 || small == big {
+		t.Fatalf("allocations: %#x %#x", small, big)
+	}
+	// Freeing into one class must not satisfy the other.
+	if err := a.Free(0, small); err != nil {
+		t.Fatal(err)
+	}
+	next := a.Malloc(0, 4096)
+	if next == small {
+		t.Fatal("class confusion")
+	}
+}
+
+func TestHugeAllocation(t *testing.T) {
+	a, h := newAlloc(t, 1<<22, 1)
+	addr := a.Malloc(0, 100_000)
+	if addr == 0 {
+		t.Fatal("huge malloc failed")
+	}
+	v := h.ExtView()
+	if err := v.Store(addr+99_999, 1, 1); err != nil {
+		t.Fatalf("huge block end not mapped: %v", err)
+	}
+	if err := a.Free(0, addr); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().HugeAllocs != 1 {
+		t.Fatalf("stats = %+v", a.Stats())
+	}
+}
+
+func TestExhaustionReturnsZero(t *testing.T) {
+	a, _ := newAlloc(t, heap.MinSize*16, 1) // 64 KiB heap
+	var got int
+	for i := 0; i < 10_000; i++ {
+		if a.Malloc(0, 4096) == 0 {
+			break
+		}
+		got++
+	}
+	if got == 0 || got >= 10_000 {
+		t.Fatalf("exhaustion never hit (got %d)", got)
+	}
+}
+
+func TestBadFrees(t *testing.T) {
+	a, h := newAlloc(t, 1<<20, 1)
+	if err := a.Free(0, h.ExtBase()); err == nil {
+		t.Error("free of reserved region accepted")
+	}
+	if err := a.Free(0, h.ExtBase()+h.Size()+100); err == nil {
+		t.Error("free outside heap accepted")
+	}
+	addr := a.Malloc(0, 64)
+	if err := a.Free(0, addr+8); err == nil {
+		t.Error("free of interior pointer accepted")
+	}
+}
+
+func TestNoDoubleAllocationQuick(t *testing.T) {
+	a, _ := newAlloc(t, 1<<22, 2)
+	live := map[uint64]bool{}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			if r.Intn(3) != 0 || len(live) == 0 {
+				addr := a.Malloc(r.Intn(2), uint64(r.Intn(500)+1))
+				if addr == 0 {
+					return true // exhausted: acceptable
+				}
+				if live[addr] {
+					return false // double allocation!
+				}
+				live[addr] = true
+			} else {
+				for addr := range live {
+					if a.Free(r.Intn(2), addr) != nil {
+						return false
+					}
+					delete(live, addr)
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMalloc(t *testing.T) {
+	a, _ := newAlloc(t, 1<<24, 4)
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < 4; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				addr := a.Malloc(cpu, 64)
+				if addr == 0 {
+					t.Error("exhausted unexpectedly")
+					return
+				}
+				mu.Lock()
+				if seen[addr] {
+					t.Errorf("double allocation of %#x", addr)
+				}
+				seen[addr] = true
+				mu.Unlock()
+			}
+		}(cpu)
+	}
+	wg.Wait()
+}
+
+func TestBackgroundRefiller(t *testing.T) {
+	a, _ := newAlloc(t, 1<<22, 1)
+	// Build a global surplus by spilling a per-CPU cache.
+	var addrs []uint64
+	for i := 0; i < 200; i++ {
+		addrs = append(addrs, a.Malloc(0, 64))
+	}
+	for _, addr := range addrs {
+		if err := a.Free(0, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.StartRefiller(time.Millisecond)
+	defer a.StopRefiller()
+	// Drain the cache low and give the refiller a chance to top up.
+	for i := 0; i < 60; i++ {
+		a.Malloc(0, 64)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if a.Stats().Refills == 0 {
+		t.Error("refiller never ran")
+	}
+}

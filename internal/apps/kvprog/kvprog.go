@@ -1,0 +1,223 @@
+// Package kvprog builds the generic KFlex key-value extension program both
+// offloaded servers share: Memcached at the XDP hook (§5.1) and Redis's
+// GET/SET path at sk_skb. The program parses the request through an
+// app-specific helper, operates on a chained hash table whose bucket array
+// and nodes live in the extension heap (allocated on demand with
+// kflex_malloc), and replies through the app's reply helper.
+package kvprog
+
+import (
+	"kflex/asm"
+	"kflex/insn"
+	"kflex/internal/kernel"
+)
+
+// Geometry shared by the offloaded servers.
+const (
+	// KeySize and ValueSize are the request key/value byte sizes.
+	KeySize   = 32
+	ValueSize = 64
+	// Buckets is the hash-table bucket count.
+	Buckets = 16 << 10
+
+	// Node layout.
+	NodeKey  = 0
+	NodeLen  = 32
+	NodeNext = 40
+	NodeVal  = 48
+	NodeSize = NodeVal + ValueSize
+
+	// GlobTable is the globals slot holding the bucket array's offset
+	// (relative to kflex.GlobalsOff = 64 within the heap).
+	GlobTable = 64
+	// GlobLock is the globals slot of the shared spin lock (co-design).
+	GlobLock = 72
+)
+
+// Parse-helper return encoding: op | valLen<<8.
+const (
+	OpNone = 0
+	OpGet  = 1
+	OpSet  = 2
+	OpInit = 3
+)
+
+// Options parameterize the program for its host application.
+type Options struct {
+	// ParseHelper decodes the request into the key/value stack buffers
+	// and returns op | valLen<<8.
+	ParseHelper int32
+	// ReplyHelper builds the response from (addr, len); addr 0 encodes
+	// miss/stored.
+	ReplyHelper int32
+	// RetServed / RetPass / RetErr are the hook return codes for
+	// handled, not-ours, and failed requests.
+	RetServed, RetPass, RetErr int32
+	// WithLock wraps table operations in the shared spin lock (§5.3).
+	WithLock bool
+}
+
+// Stack frame.
+const (
+	fKey  = -32
+	fVal  = -96
+	fVLen = -104
+	fOp   = -112
+	fBkt  = -120
+)
+
+// Build assembles the program.
+func Build(o Options) []insn.Instruction {
+	b := asm.New()
+	b.Mov(insn.R9, insn.R1)
+	b.Call(kernel.HelperKflexHeapBase)
+	b.Mov(insn.R8, insn.R0)
+
+	// Parse into stack buffers.
+	b.Mov(insn.R1, insn.R9)
+	b.Mov(insn.R2, insn.R10)
+	b.Add(insn.R2, fKey)
+	b.Mov(insn.R3, insn.R10)
+	b.Add(insn.R3, fVal)
+	b.Call(o.ParseHelper)
+	b.Mov(insn.R1, insn.R0)
+	b.I(insn.Alu64Imm(insn.AluAnd, insn.R1, 0xff))
+	b.Store(insn.R10, fOp, insn.R1, 8)
+	b.I(insn.Alu64Imm(insn.AluRsh, insn.R0, 8))
+	b.Store(insn.R10, fVLen, insn.R0, 8)
+	b.Load(insn.R1, insn.R10, fOp, 8)
+	b.JmpImm(insn.JmpEq, insn.R1, OpInit, "init")
+	b.JmpImm(insn.JmpEq, insn.R1, OpNone, "pass")
+
+	lock := func(helper int32) {
+		b.Mov(insn.R1, insn.R8)
+		b.Add(insn.R1, GlobLock)
+		b.Call(helper)
+	}
+	if o.WithLock {
+		lock(kernel.HelperKflexSpinLock)
+	}
+
+	// Hash the four key words, then fold the high bits down (keys differ
+	// at their ends, which sit in the top bytes of the last word).
+	b.Load(insn.R7, insn.R10, fKey, 8)
+	for i := 1; i < 4; i++ {
+		b.I(insn.LoadImm(insn.R0, 0x9E3779B97F4A7C15))
+		b.I(insn.Alu64Reg(insn.AluMul, insn.R7, insn.R0))
+		b.Load(insn.R0, insn.R10, int16(fKey+8*i), 8)
+		b.I(insn.Alu64Reg(insn.AluXor, insn.R7, insn.R0))
+	}
+	b.Mov(insn.R0, insn.R7)
+	b.I(insn.Alu64Imm(insn.AluRsh, insn.R0, 33))
+	b.I(insn.Alu64Reg(insn.AluXor, insn.R7, insn.R0))
+	b.I(insn.LoadImm(insn.R0, 0x9E3779B97F4A7C15))
+	b.I(insn.Alu64Reg(insn.AluMul, insn.R7, insn.R0))
+	b.I(insn.Alu64Imm(insn.AluRsh, insn.R7, 32))
+
+	// Bucket pointer: heap + tableOff + (hash & (buckets-1))*8.
+	b.Load(insn.R5, insn.R8, GlobTable, 8)
+	b.I(insn.Alu64Imm(insn.AluAnd, insn.R7, Buckets-1))
+	b.I(insn.Alu64Imm(insn.AluLsh, insn.R7, 3))
+	b.AddReg(insn.R5, insn.R7)
+	b.AddReg(insn.R5, insn.R8)
+	b.Load(insn.R6, insn.R5, 0, 8) // chain head (manipulation guard)
+
+	// Walk the chain comparing all four key words.
+	b.Label("walk")
+	b.JmpImm(insn.JmpEq, insn.R6, 0, "walk-miss")
+	for i := 0; i < 4; i++ {
+		b.Load(insn.R0, insn.R6, int16(NodeKey+8*i), 8)
+		b.Load(insn.R1, insn.R10, int16(fKey+8*i), 8)
+		b.JmpReg(insn.JmpNe, insn.R0, insn.R1, "walk-next")
+	}
+	b.Ja("walk-hit")
+	b.Label("walk-next")
+	b.Load(insn.R6, insn.R6, NodeNext, 8)
+	b.Ja("walk")
+
+	b.Label("walk-hit")
+	b.Load(insn.R1, insn.R10, fOp, 8)
+	b.JmpImm(insn.JmpEq, insn.R1, OpSet, "set-hit")
+	// GET hit: reply straight from the heap value.
+	b.Mov(insn.R1, insn.R9)
+	b.Mov(insn.R2, insn.R6)
+	b.Add(insn.R2, NodeVal)
+	b.Load(insn.R3, insn.R6, NodeLen, 8)
+	b.Call(o.ReplyHelper)
+	b.Ja("out")
+
+	b.Label("set-hit") // overwrite value in place
+	b.Load(insn.R0, insn.R10, fVLen, 8)
+	b.Store(insn.R6, NodeLen, insn.R0, 8)
+	for i := 0; i < ValueSize/8; i++ {
+		b.Load(insn.R0, insn.R10, int16(fVal+8*i), 8)
+		b.Store(insn.R6, int16(NodeVal+8*i), insn.R0, 8)
+	}
+	b.Ja("reply-stored")
+
+	b.Label("walk-miss")
+	b.Load(insn.R1, insn.R10, fOp, 8)
+	b.JmpImm(insn.JmpEq, insn.R1, OpSet, "set-miss")
+	// GET miss: miss reply (still served at the hook).
+	b.Mov(insn.R1, insn.R9)
+	b.MovImm(insn.R2, 0)
+	b.MovImm(insn.R3, 0)
+	b.Call(o.ReplyHelper)
+	b.Ja("out")
+
+	b.Label("set-miss") // allocate and insert a node (what eBPF cannot do)
+	b.Store(insn.R10, fBkt, insn.R5, 8)
+	b.MovImm(insn.R1, NodeSize)
+	b.Call(kernel.HelperKflexMalloc)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "oom")
+	b.Mov(insn.R6, insn.R0)
+	for i := 0; i < 4; i++ {
+		b.Load(insn.R0, insn.R10, int16(fKey+8*i), 8)
+		b.Store(insn.R6, int16(NodeKey+8*i), insn.R0, 8)
+	}
+	b.Load(insn.R0, insn.R10, fVLen, 8)
+	b.Store(insn.R6, NodeLen, insn.R0, 8)
+	for i := 0; i < ValueSize/8; i++ {
+		b.Load(insn.R0, insn.R10, int16(fVal+8*i), 8)
+		b.Store(insn.R6, int16(NodeVal+8*i), insn.R0, 8)
+	}
+	b.Load(insn.R5, insn.R10, fBkt, 8)
+	b.Load(insn.R0, insn.R5, 0, 8)
+	b.Store(insn.R6, NodeNext, insn.R0, 8) // n->next = head
+	b.Store(insn.R5, 0, insn.R6, 8)        // bucket = n
+
+	b.Label("reply-stored")
+	b.Mov(insn.R1, insn.R9)
+	b.MovImm(insn.R2, 0)
+	b.MovImm(insn.R3, 0)
+	b.Call(o.ReplyHelper)
+	b.Ja("out")
+
+	b.Label("oom")
+	if o.WithLock {
+		lock(kernel.HelperKflexSpinUnlock)
+	}
+	b.Ret(o.RetErr)
+
+	b.Label("out")
+	if o.WithLock {
+		lock(kernel.HelperKflexSpinUnlock)
+	}
+	b.Ret(o.RetServed)
+
+	// init: allocate the bucket array, store its heap offset.
+	b.Label("init")
+	b.MovImm(insn.R1, Buckets*8)
+	b.Call(kernel.HelperKflexMalloc)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "init-oom")
+	b.Mov(insn.R1, insn.R8)
+	b.I(insn.Alu64Reg(insn.AluSub, insn.R0, insn.R1))
+	b.Store(insn.R8, GlobTable, insn.R0, 8)
+	b.Ret(o.RetServed)
+	b.Label("init-oom")
+	b.Ret(o.RetErr)
+	b.Label("pass")
+	b.Ret(o.RetPass)
+
+	return b.MustAssemble()
+}

@@ -1,0 +1,336 @@
+// Package memcached implements the three Memcached deployments compared in
+// the paper's §5.1 plus the co-designed variant of §5.3:
+//
+//   - UserSpace: the baseline server running entirely in user space, paying
+//     the full kernel network stack and a context switch per request;
+//   - BMC: the eBPF-based look-aside cache (NSDI'21) that serves GET hits
+//     at the XDP hook but cannot offload SETs (no dynamic allocation in
+//     eBPF) and falls back to user space on misses;
+//   - KFlex: both GETs and SETs handled entirely at XDP, with the hash
+//     table and values allocated on demand from the extension heap and
+//     SETs carried over KFlex's TCP fast path;
+//   - CoDesign: the KFlex server sharing its heap with a user-space
+//     garbage-collection thread that scans the table every second under a
+//     shared spin lock (§5.3).
+//
+// All four parse the same wire protocol and serve the same Zipfian
+// workload; the paper's performance differences come from which kernel
+// path stages each avoids and the per-request processing work, both of
+// which are exercised for real here (extensions execute their verified,
+// instrumented bytecode; the user-space server is timed executing native
+// code).
+package memcached
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"kflex"
+	"kflex/internal/kernel"
+	"kflex/internal/maps"
+	"kflex/internal/netsim"
+	"kflex/internal/sim"
+	"kflex/internal/workload"
+)
+
+// Sizes used by the evaluation (§5.1): 32 B keys; 64 B values normally,
+// 32 B when BMC participates (BMC cannot store values larger than keys).
+const (
+	KeySize      = 32
+	ValueSize    = 64
+	ValueSizeBMC = 32
+)
+
+// --- Wire protocol ---------------------------------------------------------------
+
+// Request ops on the wire.
+const (
+	wireGet = 1
+	wireSet = 2
+)
+
+// EncodeGet builds a GET request frame: 'g' + key bytes.
+func EncodeGet(key []byte) []byte {
+	return append([]byte{'g'}, key...)
+}
+
+// EncodeSet builds a SET request frame: 's' + klen(1) + key + value.
+func EncodeSet(key, value []byte) []byte {
+	out := make([]byte, 0, 2+len(key)+len(value))
+	out = append(out, 's', byte(len(key)))
+	out = append(out, key...)
+	return append(out, value...)
+}
+
+// ParseRequest decodes a frame. It returns op (wireGet/wireSet), the key
+// and the value (nil for GETs), or op 0 for malformed frames.
+func ParseRequest(frame []byte) (op int, key, value []byte) {
+	if len(frame) < 1+KeySize {
+		return 0, nil, nil
+	}
+	switch frame[0] {
+	case 'g':
+		return wireGet, frame[1 : 1+KeySize], nil
+	case 's':
+		klen := int(frame[1])
+		if klen != KeySize || len(frame) < 2+klen {
+			return 0, nil, nil
+		}
+		return wireSet, frame[2 : 2+klen], frame[2+klen:]
+	}
+	return 0, nil, nil
+}
+
+// --- Native store (the user-space server and the BMC fallback) --------------------
+
+// shards stripes the store's locks, as production Memcached does.
+const shards = 16
+
+type shard struct {
+	mu sync.Mutex
+	kv map[string][]byte
+	// expiry bookkeeping for the §5.3 garbage collector.
+	exp map[string]int64
+}
+
+// Store is the user-space Memcached store.
+type Store struct {
+	shards [shards]shard
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].kv = make(map[string][]byte)
+		s.shards[i].exp = make(map[string]int64)
+	}
+	return s
+}
+
+func (s *Store) shardOf(key []byte) *shard {
+	var h uint64
+	for _, b := range key {
+		h = h*131 + uint64(b)
+	}
+	return &s.shards[h%shards]
+}
+
+// Get returns the value bytes or nil.
+func (s *Store) Get(key []byte) []byte {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.kv[string(key)]
+}
+
+// Set stores value under key.
+func (s *Store) Set(key, value []byte) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.kv[string(key)] = append([]byte(nil), value...)
+}
+
+// Handle processes one request frame natively and returns the reply.
+func (s *Store) Handle(frame []byte, reply []byte) []byte {
+	op, key, value := ParseRequest(frame)
+	switch op {
+	case wireGet:
+		v := s.Get(key)
+		if v == nil {
+			return append(reply[:0], 'M')
+		}
+		return append(append(reply[:0], 'V'), v...)
+	case wireSet:
+		s.Set(key, value)
+		return append(reply[:0], 'S')
+	}
+	return append(reply[:0], 'E')
+}
+
+// --- Shared harness pieces ---------------------------------------------------------
+
+// Config parameterizes one Memcached system instance for the simulation.
+type Config struct {
+	Mix       workload.Mix
+	ValueSize int
+	Seed      int64
+	Costs     netsim.PathCosts
+	// Preload fills every key before measuring.
+	Preload bool
+}
+
+// DefaultConfig mirrors §5.1 with 64 B values.
+func DefaultConfig(mix workload.Mix) Config {
+	return Config{Mix: mix, ValueSize: ValueSize, Seed: 7, Costs: netsim.DefaultCosts(), Preload: true}
+}
+
+// reqFactory deterministically produces the request stream all systems see.
+type reqFactory struct {
+	gen *workload.Generator
+	vsz int
+}
+
+func newReqFactory(cfg Config) *reqFactory {
+	return &reqFactory{gen: workload.NewGenerator(cfg.Seed, cfg.Mix), vsz: cfg.ValueSize}
+}
+
+// next builds the next request frame (client-side work, not timed).
+func (f *reqFactory) next() (workload.Request, []byte) {
+	req := f.gen.Next()
+	key := workload.FormatKey(req.Key, KeySize)
+	if req.Op == workload.OpSet {
+		return req, EncodeSet(key, workload.FormatValue(req.Value, f.vsz))
+	}
+	return req, EncodeGet(key)
+}
+
+// --- System 1: user space ------------------------------------------------------------
+
+// UserSpace is the baseline server.
+type UserSpace struct {
+	cfg   Config
+	store *Store
+	fac   *reqFactory
+	reply []byte
+}
+
+// NewUserSpace builds and optionally preloads the baseline.
+func NewUserSpace(cfg Config) *UserSpace {
+	u := &UserSpace{cfg: cfg, store: NewStore(), fac: newReqFactory(cfg), reply: make([]byte, 0, 128)}
+	if cfg.Preload {
+		preloadStore(u.store, cfg.ValueSize)
+	}
+	return u
+}
+
+func preloadStore(s *Store, vsz int) {
+	for k := uint64(1); k <= workload.KeySpace; k++ {
+		s.Set(workload.FormatKey(k, KeySize), workload.FormatValue(k, vsz))
+	}
+}
+
+// Serve implements sim.System: the handler runs natively and is timed; the
+// path cost is the full user-space stack (GETs over UDP, SETs over TCP,
+// matching BMC's deployment model).
+func (u *UserSpace) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
+	req, frame := u.fac.next()
+	t0 := time.Now()
+	u.reply = u.store.Handle(frame, u.reply)
+	work := float64(time.Since(t0).Nanoseconds())
+	path := u.cfg.Costs.UserspaceUDP()
+	if req.Op == workload.OpSet {
+		path = u.cfg.Costs.UserspaceTCP()
+	}
+	return sim.Service{Ns: work + path}
+}
+
+// Name implements the labeled system.
+func (u *UserSpace) Name() string { return "User space" }
+
+// --- System 2: BMC ---------------------------------------------------------------------
+
+// BMC runs the eBPF look-aside cache in front of the user-space server.
+type BMC struct {
+	cfg     Config
+	store   *Store
+	cache   *maps.LRU
+	ext     *kflex.Extension
+	handles []*kflex.Handle
+	fac     *reqFactory
+	reply   []byte
+	// Hits and Misses count cache outcomes for reporting.
+	Hits, Misses uint64
+}
+
+// BMCCacheEntries sizes the preallocated cache (BMC preallocates; it cannot
+// grow, which is the paper's flexibility point).
+const BMCCacheEntries = 16 << 10
+
+// NewBMC loads the eBPF (ModeEBPF!) extension and builds the fallback path.
+func NewBMC(cfg Config, servers int) (*BMC, error) {
+	rt := kflex.NewRuntime()
+	RegisterHelpers(rt)
+	cache, err := rt.NewLRUMap(bmcCacheMapID, BMCCacheEntries, KeySize, 8+cfg.ValueSize)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := rt.Load(kflex.Spec{
+		Name:  "bmc",
+		Insns: bmcProgram(),
+		Hook:  kflex.HookXDP,
+		Mode:  kflex.ModeEBPF, // BMC is plain eBPF: no heap, no KFlex runtime
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := &BMC{cfg: cfg, store: NewStore(), cache: cache, ext: ext, fac: newReqFactory(cfg), reply: make([]byte, 0, 128)}
+	for i := 0; i < servers; i++ {
+		b.handles = append(b.handles, ext.Handle(i))
+	}
+	if cfg.Preload {
+		preloadStore(b.store, cfg.ValueSize)
+	}
+	return b, nil
+}
+
+// Serve implements sim.System. GETs run the eBPF program at XDP: hits are
+// served there; misses fall through the full stack to user space, which
+// also fills the cache (BMC's architecture). SETs bypass the cache (BMC
+// cannot offload them) and invalidate the entry.
+func (b *BMC) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
+	req, frame := b.fac.next()
+	h := b.handles[cpu%len(b.handles)]
+	pkt := &netsim.Packet{Data: frame}
+	if req.Op == workload.OpGet {
+		res, err := h.Run(pkt, pkt.XDPCtx(0))
+		if err != nil {
+			panic(fmt.Sprintf("bmc: %v", err))
+		}
+		extNs := netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls)
+		if res.Ret == kernel.XDPTx { // cache hit, served at the hook
+			b.Hits++
+			return sim.Service{Ns: extNs + b.cfg.Costs.XDPUDP()}
+		}
+		// Miss: full user-space path plus the wasted XDP pass, plus
+		// the cache fill.
+		b.Misses++
+		t0 := time.Now()
+		b.reply = b.store.Handle(frame, b.reply)
+		if len(b.reply) > 1 && b.reply[0] == 'V' {
+			_, key, _ := ParseRequest(frame)
+			b.fillCache(key, b.reply[1:])
+		}
+		work := float64(time.Since(t0).Nanoseconds())
+		return sim.Service{Ns: extNs + work + b.cfg.Costs.UserspaceUDP() + b.cfg.Costs.BMCMissExtra()}
+	}
+	// SET: user space only; invalidate the cached entry.
+	t0 := time.Now()
+	b.reply = b.store.Handle(frame, b.reply)
+	_, key, _ := ParseRequest(frame)
+	b.cache.Delete(key)
+	work := float64(time.Since(t0).Nanoseconds())
+	return sim.Service{Ns: work + b.cfg.Costs.UserspaceTCP()}
+}
+
+func (b *BMC) fillCache(key, value []byte) {
+	entry := make([]byte, 8+b.cfg.ValueSize)
+	putU64(entry, uint64(len(value)))
+	copy(entry[8:], value)
+	_ = b.cache.Update(key, entry)
+}
+
+// Name implements the labeled system.
+func (b *BMC) Name() string { return "BMC" }
+
+// Close releases the extension.
+func (b *BMC) Close() { b.ext.Close() }
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,5 @@
+package memcached
+
+import "kflex/internal/netsim"
+
+func pktFor(frame []byte) *netsim.Packet { return &netsim.Packet{Data: frame} }

@@ -1,0 +1,518 @@
+// Package redis implements the Redis deployments of §5.1 and §5.2:
+//
+//   - KeyDB: the multi-threaded user-space baseline (Redis itself is
+//     single-threaded; the paper compares against KeyDB for fairness),
+//     paying the full TCP stack plus a context switch per request;
+//   - KFlex: GET/SET processed by an extension at the sk_skb hook — all
+//     requests still traverse the kernel TCP stack (§5.1 explains this is
+//     why Redis's speedup is smaller than Memcached's), but skip the
+//     socket wakeup, context switch, and reply syscall;
+//   - ZAdd systems (Figure 6): single-threaded ZADD processing, user space
+//     under Redis's global hash-table lock vs. the KFlex extension that
+//     combines a member table with a heap-allocated skip list.
+//
+// Requests use a RESP-style wire encoding parsed for real by both sides.
+package redis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"kflex"
+	"kflex/internal/apps/kvprog"
+	"kflex/internal/ds"
+	"kflex/internal/kernel"
+	"kflex/internal/netsim"
+	"kflex/internal/sim"
+	"kflex/internal/workload"
+)
+
+// Key/value geometry matches §5: 32 B keys, 64 B values.
+const (
+	KeySize   = kvprog.KeySize
+	ValueSize = kvprog.ValueSize
+)
+
+// Helper IDs for the Redis wire format.
+const (
+	helperRespParse int32 = 0x3101
+	helperRespReply int32 = 0x3102
+)
+
+// --- RESP wire format --------------------------------------------------------------
+
+// EncodeCommand renders a RESP array of bulk strings.
+func EncodeCommand(args ...[]byte) []byte {
+	out := []byte(fmt.Sprintf("*%d\r\n", len(args)))
+	for _, a := range args {
+		out = append(out, fmt.Sprintf("$%d\r\n", len(a))...)
+		out = append(out, a...)
+		out = append(out, '\r', '\n')
+	}
+	return out
+}
+
+// ParseCommand decodes a RESP array of bulk strings.
+func ParseCommand(frame []byte) ([][]byte, error) {
+	if len(frame) < 4 || frame[0] != '*' {
+		return nil, fmt.Errorf("redis: not a RESP array")
+	}
+	pos := 1
+	readLine := func() (string, error) {
+		start := pos
+		for pos+1 < len(frame) {
+			if frame[pos] == '\r' && frame[pos+1] == '\n' {
+				line := string(frame[start:pos])
+				pos += 2
+				return line, nil
+			}
+			pos++
+		}
+		return "", fmt.Errorf("redis: unterminated line")
+	}
+	nStr, err := readLine()
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n < 1 || n > 16 {
+		return nil, fmt.Errorf("redis: bad array length %q", nStr)
+	}
+	args := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if pos >= len(frame) || frame[pos] != '$' {
+			return nil, fmt.Errorf("redis: expected bulk string")
+		}
+		pos++
+		lStr, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		l, err := strconv.Atoi(lStr)
+		if err != nil || l < 0 || pos+l+2 > len(frame) {
+			return nil, fmt.Errorf("redis: bad bulk length %q", lStr)
+		}
+		args = append(args, frame[pos:pos+l])
+		pos += l + 2
+	}
+	return args, nil
+}
+
+// --- KeyDB: the multi-threaded user-space baseline ----------------------------------
+
+const shards = 16
+
+// KeyDB is the user-space server.
+type KeyDB struct {
+	cfg    Config
+	shards [shards]struct {
+		mu sync.Mutex
+		kv map[string][]byte
+	}
+	fac   *reqFactory
+	reply []byte
+}
+
+// Config parameterizes one Redis system.
+type Config struct {
+	Mix   workload.Mix
+	Seed  int64
+	Costs netsim.PathCosts
+	// Preload fills every key before measuring.
+	Preload bool
+}
+
+// DefaultConfig mirrors §5.1.
+func DefaultConfig(mix workload.Mix) Config {
+	return Config{Mix: mix, Seed: 11, Costs: netsim.DefaultCosts(), Preload: true}
+}
+
+type reqFactory struct {
+	gen *workload.Generator
+}
+
+func (f *reqFactory) next() (workload.Request, []byte) {
+	req := f.gen.Next()
+	key := workload.FormatKey(req.Key, KeySize)
+	if req.Op == workload.OpSet {
+		return req, EncodeCommand([]byte("SET"), key, workload.FormatValue(req.Value, ValueSize))
+	}
+	return req, EncodeCommand([]byte("GET"), key)
+}
+
+// NewKeyDB builds and optionally preloads the baseline.
+func NewKeyDB(cfg Config) *KeyDB {
+	k := &KeyDB{cfg: cfg, fac: &reqFactory{gen: workload.NewGenerator(cfg.Seed, cfg.Mix)}}
+	for i := range k.shards {
+		k.shards[i].kv = make(map[string][]byte)
+	}
+	if cfg.Preload {
+		for key := uint64(1); key <= workload.KeySpace; key++ {
+			k.set(workload.FormatKey(key, KeySize), workload.FormatValue(key, ValueSize))
+		}
+	}
+	return k
+}
+
+func (k *KeyDB) shardOf(key []byte) *struct {
+	mu sync.Mutex
+	kv map[string][]byte
+} {
+	var h uint64
+	for _, b := range key {
+		h = h*131 + uint64(b)
+	}
+	return &k.shards[h%shards]
+}
+
+func (k *KeyDB) set(key, value []byte) {
+	sh := k.shardOf(key)
+	sh.mu.Lock()
+	sh.kv[string(key)] = append([]byte(nil), value...)
+	sh.mu.Unlock()
+}
+
+// Handle processes one RESP frame natively.
+func (k *KeyDB) Handle(frame []byte, reply []byte) []byte {
+	args, err := ParseCommand(frame)
+	if err != nil || len(args) < 2 {
+		return append(reply[:0], "-ERR\r\n"...)
+	}
+	switch string(args[0]) {
+	case "GET":
+		sh := k.shardOf(args[1])
+		sh.mu.Lock()
+		v := sh.kv[string(args[1])]
+		sh.mu.Unlock()
+		if v == nil {
+			return append(reply[:0], "$-1\r\n"...)
+		}
+		reply = append(reply[:0], fmt.Sprintf("$%d\r\n", len(v))...)
+		reply = append(reply, v...)
+		return append(reply, '\r', '\n')
+	case "SET":
+		if len(args) < 3 {
+			return append(reply[:0], "-ERR\r\n"...)
+		}
+		k.set(args[1], args[2])
+		return append(reply[:0], "+OK\r\n"...)
+	}
+	return append(reply[:0], "-ERR\r\n"...)
+}
+
+// Serve implements sim.System.
+func (k *KeyDB) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
+	_, frame := k.fac.next()
+	t0 := time.Now()
+	k.reply = k.Handle(frame, k.reply)
+	work := float64(time.Since(t0).Nanoseconds())
+	return sim.Service{Ns: work + k.cfg.Costs.UserspaceTCP()}
+}
+
+// Name labels the system.
+func (k *KeyDB) Name() string { return "User space (KeyDB)" }
+
+// --- KFlex Redis at sk_skb -----------------------------------------------------------
+
+// RegisterHelpers installs the RESP parse/reply helpers.
+func RegisterHelpers(rt *kflex.Runtime) {
+	r := rt.Kernel().Helpers
+	if _, dup := r.Lookup(helperRespParse); dup {
+		return
+	}
+	r.MustRegister(&kernel.HelperSpec{
+		ID:   helperRespParse,
+		Name: "redis_parse",
+		Args: []kernel.Arg{
+			{Kind: kernel.ArgCtx},
+			{Kind: kernel.ArgStackBuf, Size: KeySize},
+			{Kind: kernel.ArgStackBuf, Size: ValueSize},
+		},
+		Ret: kernel.Ret{Kind: kernel.RetScalar},
+		Impl: func(hc *kernel.HelperCtx, args [5]uint64) (uint64, error) {
+			pkt, ok := hc.Event.(*netsim.Packet)
+			if !ok {
+				return kvprog.OpNone, nil
+			}
+			if len(pkt.Data) == 1 && pkt.Data[0] == 'i' {
+				return kvprog.OpInit, nil
+			}
+			cmd, err := ParseCommand(pkt.Data)
+			if err != nil || len(cmd) < 2 || len(cmd[1]) != KeySize {
+				return kvprog.OpNone, nil
+			}
+			if err := hc.Write(args[1], cmd[1]); err != nil {
+				return 0, err
+			}
+			switch string(cmd[0]) {
+			case "GET":
+				return kvprog.OpGet, nil
+			case "SET":
+				if len(cmd) < 3 || len(cmd[2]) > ValueSize {
+					return kvprog.OpNone, nil
+				}
+				val := make([]byte, ValueSize)
+				copy(val, cmd[2])
+				if err := hc.Write(args[2], val); err != nil {
+					return 0, err
+				}
+				return kvprog.OpSet | uint64(len(cmd[2]))<<8, nil
+			}
+			return kvprog.OpNone, nil
+		},
+	})
+	r.MustRegister(&kernel.HelperSpec{
+		ID:   helperRespReply,
+		Name: "redis_reply",
+		Args: []kernel.Arg{
+			{Kind: kernel.ArgCtx},
+			{Kind: kernel.ArgHeapAddr},
+			{Kind: kernel.ArgScalar},
+		},
+		Ret: kernel.Ret{Kind: kernel.RetScalar},
+		Impl: func(hc *kernel.HelperCtx, args [5]uint64) (uint64, error) {
+			pkt, ok := hc.Event.(*netsim.Packet)
+			if !ok {
+				return 0, nil
+			}
+			if args[1] == 0 {
+				if len(pkt.Data) > 3 && pkt.Data[0] == '*' && pkt.Data[1] == '3' {
+					pkt.Reply = append(pkt.Reply[:0], "+OK\r\n"...)
+				} else {
+					pkt.Reply = append(pkt.Reply[:0], "$-1\r\n"...)
+				}
+				return 0, nil
+			}
+			n := int(args[2])
+			if n > ValueSize {
+				n = ValueSize
+			}
+			val, err := hc.Read(args[1], n)
+			if err != nil {
+				return 0, err
+			}
+			pkt.Reply = append(pkt.Reply[:0], fmt.Sprintf("$%d\r\n", n)...)
+			pkt.Reply = append(pkt.Reply, val...)
+			pkt.Reply = append(pkt.Reply, '\r', '\n')
+			return 0, nil
+		},
+	})
+}
+
+// Served is the sk_skb return code meaning "handled at the hook".
+const Served = 3
+
+// KFlexRedis serves GET/SET at the sk_skb hook.
+type KFlexRedis struct {
+	cfg     Config
+	ext     *kflex.Extension
+	handles []*kflex.Handle
+	fac     *reqFactory
+	pkt     netsim.Packet
+	ctx     []byte
+}
+
+// NewKFlex loads the Redis extension (§5.1: ~3100 LoC in the paper's C
+// implementation; the structure is the shared KV program at sk_skb).
+func NewKFlex(cfg Config, servers int) (*KFlexRedis, error) {
+	rt := kflex.NewRuntime()
+	RegisterHelpers(rt)
+	prog := kvprog.Build(kvprog.Options{
+		ParseHelper: helperRespParse,
+		ReplyHelper: helperRespReply,
+		RetServed:   Served,
+		RetPass:     kernel.SkPass,
+		RetErr:      kernel.SkDrop,
+	})
+	ext, err := rt.Load(kflex.Spec{
+		Name:     "kflex-redis",
+		Insns:    prog,
+		Hook:     kflex.HookSkSkb,
+		Mode:     kflex.ModeKFlex,
+		HeapSize: 64 << 20,
+		NumCPUs:  servers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	k := &KFlexRedis{cfg: cfg, ext: ext, fac: &reqFactory{gen: workload.NewGenerator(cfg.Seed, cfg.Mix)}}
+	for i := 0; i < servers; i++ {
+		k.handles = append(k.handles, ext.Handle(i))
+	}
+	// Init, then preload.
+	if _, _, err := k.Execute(0, []byte{'i'}); err != nil {
+		return nil, err
+	}
+	if cfg.Preload {
+		for key := uint64(1); key <= workload.KeySpace; key++ {
+			frame := EncodeCommand([]byte("SET"),
+				workload.FormatKey(key, KeySize), workload.FormatValue(key, ValueSize))
+			if _, _, err := k.Execute(0, frame); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return k, nil
+}
+
+// Execute runs one frame through the extension.
+func (k *KFlexRedis) Execute(cpu int, frame []byte) ([]byte, float64, error) {
+	k.pkt.Data = frame
+	k.pkt.Reply = k.pkt.Reply[:0]
+	if k.ctx == nil {
+		k.ctx = make([]byte, kernel.HookSkSkb.CtxSize)
+	}
+	binary.LittleEndian.PutUint32(k.ctx[0:], uint32(len(frame)))
+	res, err := k.handles[cpu%len(k.handles)].Run(&k.pkt, k.ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.Ret != Served {
+		return nil, 0, fmt.Errorf("redis: extension returned %d", res.Ret)
+	}
+	return k.pkt.Reply, netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls), nil
+}
+
+// Serve implements sim.System: every request pays the TCP stack (§5.1) but
+// skips wakeup, context switch, and the reply syscall.
+func (k *KFlexRedis) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
+	_, frame := k.fac.next()
+	_, extNs, err := k.Execute(cpu, frame)
+	if err != nil {
+		panic(err)
+	}
+	return sim.Service{Ns: extNs + k.cfg.Costs.SkSkbTCP()}
+}
+
+// Name labels the system.
+func (k *KFlexRedis) Name() string { return "KFlex" }
+
+// Close releases the extension.
+func (k *KFlexRedis) Close() { k.ext.Close() }
+
+// --- ZADD (Figure 6) -------------------------------------------------------------------
+
+// ZAddUser is the single-threaded user-space ZADD server: Redis holds a
+// global lock on the hash map for every ZADD (§5.2), so one mutex guards
+// the whole sorted set.
+type ZAddUser struct {
+	cfg   Config
+	mu    sync.Mutex
+	zset  *ds.NativeZSet
+	gen   *workload.Generator
+	r     *rand.Rand
+	reply []byte
+}
+
+// NewZAddUser builds the user-space ZADD system.
+func NewZAddUser(cfg Config) *ZAddUser {
+	return &ZAddUser{
+		cfg:  cfg,
+		zset: ds.NewNativeZSet(),
+		gen:  workload.NewGenerator(cfg.Seed, workload.Mix{GetPct: 0}),
+		r:    rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+}
+
+// Serve implements sim.System.
+func (z *ZAddUser) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
+	req := z.gen.Next()
+	score := z.r.Uint64() % (1 << 16)
+	frame := EncodeCommand([]byte("ZADD"), []byte("zset"),
+		[]byte(strconv.FormatUint(score, 10)), workload.FormatKey(req.Key, KeySize))
+	t0 := time.Now()
+	if _, err := ParseCommand(frame); err != nil {
+		panic(err)
+	}
+	z.mu.Lock()
+	z.zset.ZAdd(req.Key, score)
+	z.mu.Unlock()
+	work := float64(time.Since(t0).Nanoseconds())
+	return sim.Service{Ns: work + z.cfg.Costs.UserspaceTCP()}
+}
+
+// Name labels the system.
+func (z *ZAddUser) Name() string { return "Redis (user space)" }
+
+// ZAddKFlex is the offloaded ZADD of §5.2.
+type ZAddKFlex struct {
+	cfg    Config
+	ext    *kflex.Extension
+	handle *kflex.Handle
+	gen    *workload.Generator
+	r      *rand.Rand
+	ctx    []byte
+}
+
+// NewZAddKFlex loads the ZADD extension (hash map + heap skip list).
+func NewZAddKFlex(cfg Config) (*ZAddKFlex, error) {
+	rt := kflex.NewRuntime()
+	ext, err := rt.Load(kflex.Spec{
+		Name:     "kflex-zadd",
+		Insns:    ds.ZAddProgram(),
+		Hook:     kflex.HookBench,
+		Mode:     kflex.ModeKFlex,
+		HeapSize: 128 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	z := &ZAddKFlex{
+		cfg:    cfg,
+		ext:    ext,
+		handle: ext.Handle(0),
+		gen:    workload.NewGenerator(cfg.Seed, workload.Mix{GetPct: 0}),
+		r:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		ctx:    make([]byte, kflex.HookBench.CtxSize),
+	}
+	if _, err := z.op(3, 0, 0); err != nil { // init
+		return nil, err
+	}
+	return z, nil
+}
+
+func (z *ZAddKFlex) op(op, member, score uint64) (*kflex.Result, error) {
+	binary.LittleEndian.PutUint64(z.ctx[0:], op)
+	binary.LittleEndian.PutUint64(z.ctx[8:], member)
+	binary.LittleEndian.PutUint64(z.ctx[16:], score)
+	res, err := z.handle.Run(nil, z.ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Serve implements sim.System: ZADDs run over TCP at sk_skb, like the rest
+// of KFlex-Redis.
+func (z *ZAddKFlex) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
+	req := z.gen.Next()
+	score := z.r.Uint64() % (1 << 16)
+	res, err := z.op(0, req.Key, score)
+	if err != nil {
+		panic(err)
+	}
+	extNs := netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls)
+	return sim.Service{Ns: extNs + z.cfg.Costs.SkSkbTCP()}
+}
+
+// Name labels the system.
+func (z *ZAddKFlex) Name() string { return "KFlex ZADD" }
+
+// Close releases the extension.
+func (z *ZAddKFlex) Close() { z.ext.Close() }
+
+// Score reads back a member's score (verification helper).
+func (z *ZAddKFlex) Score(member uint64) (uint64, bool, error) {
+	res, err := z.op(1, member, 0)
+	if err != nil {
+		return 0, false, err
+	}
+	if res.Ret != 1 {
+		return 0, false, nil
+	}
+	return binary.LittleEndian.Uint64(z.ctx[24:]), true, nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(id, Options{Quick: true, Out: &buf}); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestTab1(t *testing.T) {
+	out := runExperiment(t, "tab1")
+	for _, want := range []string{"SPIN", "VINO", "eBPF", "KFlex"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tab1 missing %q", want)
+		}
+	}
+}
+
+func TestTab3(t *testing.T) {
+	out := runExperiment(t, "tab3")
+	// The paper's qualitative pattern: hashmap 0% elided, skiplist
+	// lookup 100% elided.
+	if !strings.Contains(out, "hashmap lookup") || !strings.Contains(out, "skiplist lookup") {
+		t.Fatalf("tab3 rows missing:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "hashmap") && !strings.Contains(line, "0%") {
+			t.Errorf("hashmap should elide 0%%: %s", line)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if out := runExperiment(t, "abl-probe"); !strings.Contains(out, "probe accesses") {
+		t.Errorf("abl-probe output:\n%s", out)
+	}
+	if out := runExperiment(t, "abl-xlat"); !strings.Contains(out, "xlat sites") {
+		t.Errorf("abl-xlat output:\n%s", out)
+	}
+	if out := runExperiment(t, "abl-perfmode"); !strings.Contains(out, "guards/op (PM)") {
+		t.Errorf("abl-perfmode output:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", Options{Quick: true, Out: &buf}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	out := runExperiment(t, "fig6")
+	if !strings.Contains(out, "KFlex") || !strings.Contains(out, "Redis (user space)") {
+		t.Fatalf("fig6 output:\n%s", out)
+	}
+}

@@ -1,0 +1,269 @@
+// Package cfg builds instruction-level control-flow graphs over KFlex
+// bytecode and computes the structural facts the verifier and the Kie
+// instrumentation engine need: reachability, dominators, and natural loops
+// with their back edges. Back edges of loops whose termination cannot be
+// proven become class-1 cancellation points (§3.3 of the paper).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"kflex/insn"
+)
+
+// Graph is the control-flow graph of one program. Nodes are instruction
+// indices into Insns; CALL instructions fall through to the next
+// instruction (helpers always return).
+type Graph struct {
+	Insns []insn.Instruction
+	Succ  [][]int
+	Pred  [][]int
+
+	rpo  []int // reverse postorder of reachable nodes
+	idom []int // immediate dominator per node, -1 if entry/unreachable
+}
+
+// Build constructs and validates the CFG. It rejects empty programs,
+// branches that leave the program, fallthrough past the final instruction,
+// and a final instruction that is not EXIT or an unconditional branch.
+func Build(prog []insn.Instruction) (*Graph, error) {
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("cfg: empty program")
+	}
+	g := &Graph{
+		Insns: prog,
+		Succ:  make([][]int, len(prog)),
+		Pred:  make([][]int, len(prog)),
+	}
+	for i, ins := range prog {
+		var succ []int
+		switch {
+		case ins.IsExit():
+			// no successors
+		case ins.IsJump():
+			target := i + 1 + int(ins.Off)
+			if target < 0 || target >= len(prog) {
+				return nil, fmt.Errorf("cfg: insn %d: branch target %d out of range", i, target)
+			}
+			succ = append(succ, target)
+			if ins.IsCond() {
+				if i+1 >= len(prog) {
+					return nil, fmt.Errorf("cfg: insn %d: conditional branch falls off the end", i)
+				}
+				if target != i+1 {
+					succ = append(succ, i+1)
+				}
+			}
+		default:
+			if i+1 >= len(prog) {
+				return nil, fmt.Errorf("cfg: insn %d: control falls off the end of the program", i)
+			}
+			succ = append(succ, i+1)
+		}
+		g.Succ[i] = succ
+		for _, s := range succ {
+			g.Pred[s] = append(g.Pred[s], i)
+		}
+	}
+	g.computeRPO()
+	g.computeDominators()
+	return g, nil
+}
+
+// computeRPO performs an iterative DFS from the entry and records the
+// reverse postorder of reachable nodes.
+func (g *Graph) computeRPO() {
+	n := len(g.Insns)
+	visited := make([]bool, n)
+	var post []int
+	// Iterative DFS with explicit stack of (node, next-successor-index).
+	type frame struct{ node, next int }
+	stack := []frame{{0, 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.Succ[f.node]) {
+			s := g.Succ[f.node][f.next]
+			f.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	g.rpo = make([]int, len(post))
+	for i, node := range post {
+		g.rpo[len(post)-1-i] = node
+	}
+}
+
+// Reachable reports, per instruction, whether it is reachable from entry.
+func (g *Graph) Reachable() []bool {
+	r := make([]bool, len(g.Insns))
+	for _, n := range g.rpo {
+		r[n] = true
+	}
+	return r
+}
+
+// RPO returns the reverse postorder of reachable instructions.
+func (g *Graph) RPO() []int { return g.rpo }
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm.
+func (g *Graph) computeDominators() {
+	n := len(g.Insns)
+	g.idom = make([]int, n)
+	for i := range g.idom {
+		g.idom[i] = -1
+	}
+	rpoIndex := make([]int, n)
+	for i := range rpoIndex {
+		rpoIndex[i] = -1
+	}
+	for i, node := range g.rpo {
+		rpoIndex[node] = i
+	}
+	g.idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.rpo {
+			if node == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Pred[node] {
+				if rpoIndex[p] < 0 || g.idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+					continue
+				}
+				newIdom = g.intersect(p, newIdom, rpoIndex)
+			}
+			if newIdom != -1 && g.idom[node] != newIdom {
+				g.idom[node] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (g *Graph) intersect(a, b int, rpoIndex []int) int {
+	for a != b {
+		for rpoIndex[a] > rpoIndex[b] {
+			a = g.idom[a]
+		}
+		for rpoIndex[b] > rpoIndex[a] {
+			b = g.idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether instruction a dominates instruction b.
+func (g *Graph) Dominates(a, b int) bool {
+	if g.idom[b] == -1 && b != 0 {
+		return false // unreachable
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = g.idom[b]
+	}
+}
+
+// Idom returns the immediate dominator of node (node 0 maps to itself;
+// unreachable nodes map to -1).
+func (g *Graph) Idom(node int) int { return g.idom[node] }
+
+// BackEdge is a CFG edge tail→head where head dominates tail, i.e. the
+// closing edge of a natural loop.
+type BackEdge struct {
+	Tail, Head int
+}
+
+// BackEdges returns all natural-loop back edges in deterministic order.
+func (g *Graph) BackEdges() []BackEdge {
+	var edges []BackEdge
+	for _, tail := range g.rpo {
+		for _, head := range g.Succ[tail] {
+			if g.Dominates(head, tail) {
+				edges = append(edges, BackEdge{Tail: tail, Head: head})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Head != edges[j].Head {
+			return edges[i].Head < edges[j].Head
+		}
+		return edges[i].Tail < edges[j].Tail
+	})
+	return edges
+}
+
+// Loop is one natural loop: every node from which the back edge's tail is
+// reachable without passing through the head.
+type Loop struct {
+	Head  int
+	Tails []int
+	Body  map[int]bool // includes Head and all Tails
+}
+
+// Loops identifies natural loops, merging loops that share a head.
+func (g *Graph) Loops() []Loop {
+	byHead := map[int]*Loop{}
+	for _, e := range g.BackEdges() {
+		l, ok := byHead[e.Head]
+		if !ok {
+			l = &Loop{Head: e.Head, Body: map[int]bool{e.Head: true}}
+			byHead[e.Head] = l
+		}
+		l.Tails = append(l.Tails, e.Tail)
+		// Walk predecessors backward from the tail until the head.
+		stack := []int{e.Tail}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if l.Body[n] {
+				continue
+			}
+			l.Body[n] = true
+			for _, p := range g.Pred[n] {
+				if !l.Body[p] {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	heads := make([]int, 0, len(byHead))
+	for h := range byHead {
+		heads = append(heads, h)
+	}
+	sort.Ints(heads)
+	loops := make([]Loop, 0, len(heads))
+	for _, h := range heads {
+		loops = append(loops, *byHead[h])
+	}
+	return loops
+}
+
+// HasUnreachable reports whether any instruction is unreachable; the eBPF
+// verifier rejects programs containing dead code.
+func (g *Graph) HasUnreachable() (int, bool) {
+	r := g.Reachable()
+	for i, ok := range r {
+		if !ok {
+			return i, true
+		}
+	}
+	return -1, false
+}

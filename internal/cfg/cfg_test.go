@@ -1,0 +1,222 @@
+package cfg
+
+import (
+	"testing"
+
+	"kflex/asm"
+	"kflex/insn"
+)
+
+func mustBuild(t *testing.T, prog []insn.Instruction) *Graph {
+	t.Helper()
+	g, err := Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStraightLine(t *testing.T) {
+	g := mustBuild(t, asm.New().
+		MovImm(insn.R0, 1).
+		MovImm(insn.R1, 2).
+		Exit().
+		MustAssemble())
+	if len(g.Succ[0]) != 1 || g.Succ[0][0] != 1 {
+		t.Errorf("succ[0] = %v", g.Succ[0])
+	}
+	if len(g.Succ[2]) != 0 {
+		t.Errorf("exit has successors: %v", g.Succ[2])
+	}
+	if len(g.BackEdges()) != 0 {
+		t.Error("straight-line code has back edges")
+	}
+	if _, bad := g.HasUnreachable(); bad {
+		t.Error("reported unreachable code")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty program accepted")
+	}
+	// Branch out of range.
+	if _, err := Build([]insn.Instruction{insn.Ja(5), insn.Exit()}); err == nil {
+		t.Error("wild branch accepted")
+	}
+	// Fallthrough off the end.
+	if _, err := Build([]insn.Instruction{insn.Mov64Imm(insn.R0, 0)}); err == nil {
+		t.Error("fallthrough off end accepted")
+	}
+	// Conditional branch as final instruction.
+	if _, err := Build([]insn.Instruction{insn.JmpImm(insn.JmpEq, insn.R0, 0, -1)}); err == nil {
+		t.Error("trailing conditional accepted")
+	}
+}
+
+// diamond builds:
+//
+//	0: if r1 == 0 goto 3
+//	1: r0 = 1
+//	2: goto 4
+//	3: r0 = 2
+//	4: exit
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	return mustBuild(t, asm.New().
+		JmpImm(insn.JmpEq, insn.R1, 0, "else").
+		MovImm(insn.R0, 1).
+		Ja("join").
+		Label("else").
+		MovImm(insn.R0, 2).
+		Label("join").
+		Exit().
+		MustAssemble())
+}
+
+func TestDiamondDominators(t *testing.T) {
+	g := diamond(t)
+	for _, n := range []int{1, 2, 3, 4} {
+		if !g.Dominates(0, n) {
+			t.Errorf("entry should dominate %d", n)
+		}
+	}
+	if g.Dominates(1, 4) || g.Dominates(3, 4) {
+		t.Error("neither branch arm dominates the join")
+	}
+	if g.Idom(4) != 0 {
+		t.Errorf("idom(join) = %d, want 0", g.Idom(4))
+	}
+}
+
+// loop builds a counted loop:
+//
+//	0: r1 = 10
+//	1: if r1 == 0 goto 4   (head)
+//	2: r1 -= 1
+//	3: goto 1              (back edge)
+//	4: exit
+func loopGraph(t *testing.T) *Graph {
+	t.Helper()
+	return mustBuild(t, asm.New().
+		MovImm(insn.R1, 10).
+		Label("head").
+		JmpImm(insn.JmpEq, insn.R1, 0, "out").
+		I(insn.Alu64Imm(insn.AluSub, insn.R1, 1)).
+		Ja("head").
+		Label("out").
+		Exit().
+		MustAssemble())
+}
+
+func TestLoopDetection(t *testing.T) {
+	g := loopGraph(t)
+	edges := g.BackEdges()
+	if len(edges) != 1 {
+		t.Fatalf("back edges = %v, want 1", edges)
+	}
+	if edges[0].Head != 1 || edges[0].Tail != 3 {
+		t.Errorf("back edge = %+v, want 3->1", edges[0])
+	}
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	for _, n := range []int{1, 2, 3} {
+		if !l.Body[n] {
+			t.Errorf("loop body missing %d", n)
+		}
+	}
+	if l.Body[0] || l.Body[4] {
+		t.Errorf("loop body too large: %v", l.Body)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// outer: i = 4; inner: j = 4
+	g := mustBuild(t, asm.New().
+		MovImm(insn.R1, 4).
+		Label("outer").
+		MovImm(insn.R2, 4).
+		Label("inner").
+		I(insn.Alu64Imm(insn.AluSub, insn.R2, 1)).
+		JmpImm(insn.JmpNe, insn.R2, 0, "inner").
+		I(insn.Alu64Imm(insn.AluSub, insn.R1, 1)).
+		JmpImm(insn.JmpNe, insn.R1, 0, "outer").
+		Exit().
+		MustAssemble())
+	loops := g.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	inner, outer := loops[1], loops[0]
+	if outer.Head > inner.Head {
+		inner, outer = outer, inner
+	}
+	if len(inner.Body) >= len(outer.Body) {
+		t.Errorf("inner body (%d) should be smaller than outer (%d)", len(inner.Body), len(outer.Body))
+	}
+	for n := range inner.Body {
+		if !outer.Body[n] {
+			t.Errorf("inner node %d not inside outer loop", n)
+		}
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	// 0: r1 -=1 ; 1: if r1 != 0 goto 1 ; 2: exit — insn 1 self-loops.
+	g := mustBuild(t, []insn.Instruction{
+		insn.Alu64Imm(insn.AluSub, insn.R1, 1),
+		insn.JmpImm(insn.JmpNe, insn.R1, 0, -1),
+		insn.Exit(),
+	})
+	edges := g.BackEdges()
+	if len(edges) != 1 || edges[0].Head != 1 || edges[0].Tail != 1 {
+		t.Fatalf("self back edge = %v", edges)
+	}
+}
+
+func TestUnreachableDetection(t *testing.T) {
+	g := mustBuild(t, asm.New().
+		Ja("end").
+		MovImm(insn.R0, 9). // dead
+		Label("end").
+		Exit().
+		MustAssemble())
+	idx, bad := g.HasUnreachable()
+	if !bad || idx != 1 {
+		t.Fatalf("HasUnreachable = %d,%v; want 1,true", idx, bad)
+	}
+}
+
+func TestIrreducibleEntryNotLoop(t *testing.T) {
+	// Two exits, no loop: make sure multiple preds at join don't create
+	// spurious back edges.
+	g := diamond(t)
+	if len(g.BackEdges()) != 0 {
+		t.Error("diamond has back edges")
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	g := loopGraph(t)
+	if g.RPO()[0] != 0 {
+		t.Errorf("RPO[0] = %d", g.RPO()[0])
+	}
+	if len(g.RPO()) != len(g.Insns) {
+		t.Errorf("RPO covers %d of %d", len(g.RPO()), len(g.Insns))
+	}
+}
+
+func TestCondBranchToNext(t *testing.T) {
+	// A conditional branch whose target is the fallthrough produces a
+	// single successor (no duplicate edges).
+	g := mustBuild(t, []insn.Instruction{
+		insn.JmpImm(insn.JmpEq, insn.R1, 0, 0),
+		insn.Exit(),
+	})
+	if len(g.Succ[0]) != 1 {
+		t.Fatalf("succ = %v, want single edge", g.Succ[0])
+	}
+}

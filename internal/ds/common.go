@@ -1,0 +1,203 @@
+package ds
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kflex/asm"
+	"kflex/insn"
+	"kflex/internal/kernel"
+
+	"kflex"
+)
+
+// Operation codes carried in the bench hook's ctx->op field.
+const (
+	OpUpdate uint64 = 0
+	OpLookup uint64 = 1
+	OpDelete uint64 = 2
+	OpInit   uint64 = 3
+)
+
+// Return codes from data-structure extensions.
+const (
+	RetMiss  = 0
+	RetFound = 1
+	RetOOM   = 2
+)
+
+// Bench hook context offsets.
+const (
+	ctxOp  = 0
+	ctxKey = 8
+	ctxVal = 16
+	ctxOut = 24
+)
+
+// globalsOff is where data-structure globals (heads, roots, array offsets)
+// live in the heap; it must match the runtime's reserved layout.
+const globalsOff = kflex.GlobalsOff
+
+// Register conventions shared by all data-structure extensions: R9 = ctx,
+// R8 = heap base, R7 = key; R6 is the per-structure cursor. R0–R5 are
+// scratch (clobbered by helper calls).
+const (
+	rCtx  = insn.R9
+	rHeap = insn.R8
+	rKey  = insn.R7
+	rCur  = insn.R6
+)
+
+// prologue loads ctx/heap/key into the convention registers and dispatches
+// on ctx->op to the update/lookup/delete/init labels.
+func prologue(b *asm.Builder) {
+	b.Mov(rCtx, insn.R1)
+	b.Call(kernel.HelperKflexHeapBase)
+	b.Mov(rHeap, insn.R0)
+	b.Load(rKey, rCtx, ctxKey, 8)
+	b.Load(insn.R0, rCtx, ctxOp, 8)
+	b.JmpImm(insn.JmpEq, insn.R0, int32(OpUpdate), "update")
+	b.JmpImm(insn.JmpEq, insn.R0, int32(OpLookup), "lookup")
+	b.JmpImm(insn.JmpEq, insn.R0, int32(OpDelete), "delete")
+	b.JmpImm(insn.JmpEq, insn.R0, int32(OpInit), "init")
+	b.Ret(RetMiss)
+}
+
+func builderFor(kind Kind) *asm.Builder {
+	switch kind {
+	case KindLinkedList:
+		return listProgram()
+	case KindHashMap:
+		return hashProgram()
+	case KindRBTree:
+		return rbProgram()
+	case KindSkipList:
+		return skipProgram()
+	case KindCountMin:
+		return sketchProgram(false)
+	case KindCountSketch:
+		return sketchProgram(true)
+	}
+	panic("ds: unknown kind " + string(kind))
+}
+
+// Program returns the extension bytecode implementing kind.
+func Program(kind Kind) []insn.Instruction {
+	return builderFor(kind).MustAssemble()
+}
+
+// ProgramSections returns the bytecode together with the label table, which
+// locates each operation's instruction range (Table 3 attributes guard
+// counts to individual operations).
+func ProgramSections(kind Kind) ([]insn.Instruction, map[string]int) {
+	b := builderFor(kind)
+	return b.MustAssemble(), b.Labels()
+}
+
+// HeapSize returns the heap each structure declares.
+func HeapSize(kind Kind) uint64 {
+	switch kind {
+	case KindCountMin, KindCountSketch:
+		return 1 << 20
+	default:
+		return 1 << 26 // 64 MiB: room for Figure 5's 64Ki-element structures
+	}
+}
+
+// Offloaded wraps a loaded data-structure extension behind the Store
+// interface, issuing one extension invocation per operation.
+type Offloaded struct {
+	Ext    *kflex.Extension
+	handle *kflex.Handle
+	ctx    []byte
+
+	insns  uint64
+	guards uint64
+}
+
+// Load verifies, instruments, and loads the kind's extension into rt and
+// runs its init operation. perfMode enables §3.2's performance mode.
+func Load(rt *kflex.Runtime, kind Kind, perfMode bool) (*Offloaded, error) {
+	ext, err := rt.Load(kflex.Spec{
+		Name:     string(kind),
+		Insns:    Program(kind),
+		Hook:     kflex.HookBench,
+		Mode:     kflex.ModeKFlex,
+		HeapSize: HeapSize(kind),
+		PerfMode: perfMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	o := &Offloaded{
+		Ext:    ext,
+		handle: ext.Handle(0),
+		ctx:    make([]byte, kflex.HookBench.CtxSize),
+	}
+	if ret, err := o.op(OpInit, 0, 0); err != nil {
+		return nil, err
+	} else if ret == RetOOM {
+		return nil, fmt.Errorf("ds: %s: init ran out of heap", kind)
+	}
+	return o, nil
+}
+
+func (o *Offloaded) op(op, key, val uint64) (uint64, error) {
+	binary.LittleEndian.PutUint64(o.ctx[ctxOp:], op)
+	binary.LittleEndian.PutUint64(o.ctx[ctxKey:], key)
+	binary.LittleEndian.PutUint64(o.ctx[ctxVal:], val)
+	binary.LittleEndian.PutUint64(o.ctx[ctxOut:], 0)
+	res, err := o.handle.Run(nil, o.ctx)
+	if err != nil {
+		return 0, err
+	}
+	o.insns += res.Stats.Insns
+	o.guards += res.Stats.Guards
+	if res.Cancelled != kflex.CancelNone {
+		return 0, fmt.Errorf("ds: operation cancelled (%v)", res.Cancelled)
+	}
+	return res.Ret, nil
+}
+
+// Update implements Store. Errors surface as panics: the bytecode is loaded
+// from a static, verified program, so a failure is a bug in this repository,
+// not a runtime condition callers should handle.
+func (o *Offloaded) Update(key, val uint64) {
+	ret, err := o.op(OpUpdate, key, val)
+	if err != nil {
+		panic(err)
+	}
+	if ret == RetOOM {
+		panic(fmt.Sprintf("ds: heap exhausted updating key %d", key))
+	}
+}
+
+// Lookup implements Store.
+func (o *Offloaded) Lookup(key uint64) (uint64, bool) {
+	ret, err := o.op(OpLookup, key, 0)
+	if err != nil {
+		panic(err)
+	}
+	if ret != RetFound {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(o.ctx[ctxOut:]), true
+}
+
+// Delete implements Store.
+func (o *Offloaded) Delete(key uint64) bool {
+	ret, err := o.op(OpDelete, key, 0)
+	if err != nil {
+		panic(err)
+	}
+	return ret == RetFound
+}
+
+// Insns returns the cumulative instructions executed across operations.
+func (o *Offloaded) Insns() uint64 { return o.insns }
+
+// Guards returns the cumulative guard instructions executed.
+func (o *Offloaded) Guards() uint64 { return o.guards }
+
+// Close releases the extension.
+func (o *Offloaded) Close() { o.Ext.Close() }

@@ -1,0 +1,435 @@
+package ds
+
+import (
+	"fmt"
+
+	"kflex/asm"
+	"kflex/insn"
+	"kflex/internal/kernel"
+)
+
+// Red-black tree node layout.
+const (
+	rbKey    = 0
+	rbVal    = 8
+	rbLeft   = 16
+	rbRight  = 24
+	rbParent = 32
+	rbColor  = 40 // 0 = red, 1 = black (NULL reads as black)
+	rbSize   = 48
+
+	rbGlobRoot = globalsOff
+)
+
+// rbSeq numbers inline-expanded fragments so their labels stay unique.
+var rbSeq int
+
+func rbLbl(base string) string {
+	rbSeq++
+	return fmt.Sprintf("%s-%d", base, rbSeq)
+}
+
+// emitRotate expands a left (dir=rbRight) or right (dir=rbLeft) rotation
+// around the node in R2. Clobbers R0, R1, R5; preserves R2, R3, R4, R6.
+//
+//	left rotate:  y = x->right, x->right = y->left, ..., y->left = x
+//	right rotate: mirror with left/right swapped
+func emitRotate(b *asm.Builder, left bool) {
+	down, up := int16(rbRight), int16(rbLeft) // left rotation
+	if !left {
+		down, up = rbLeft, rbRight
+	}
+	p1, p2, p3, link := rbLbl("rot-p1"), rbLbl("rot-p2"), rbLbl("rot-p3"), rbLbl("rot-link")
+	b.Load(insn.R5, insn.R2, down, 8) // y = x->down
+	b.Load(insn.R0, insn.R5, up, 8)   // t = y->up
+	b.Store(insn.R2, down, insn.R0, 8)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, p1)
+	b.Store(insn.R0, rbParent, insn.R2, 8) // t->parent = x
+	b.Label(p1)
+	b.Load(insn.R0, insn.R2, rbParent, 8)  // xp
+	b.Store(insn.R5, rbParent, insn.R0, 8) // y->parent = xp
+	b.JmpImm(insn.JmpNe, insn.R0, 0, p2)
+	b.Store(rHeap, rbGlobRoot, insn.R5, 8) // root = y
+	b.Ja(link)
+	b.Label(p2)
+	b.Load(insn.R1, insn.R0, rbLeft, 8)
+	b.JmpReg(insn.JmpNe, insn.R1, insn.R2, p3)
+	b.Store(insn.R0, rbLeft, insn.R5, 8)
+	b.Ja(link)
+	b.Label(p3)
+	b.Store(insn.R0, rbRight, insn.R5, 8)
+	b.Label(link)
+	b.Store(insn.R5, up, insn.R2, 8)       // y->up = x
+	b.Store(insn.R2, rbParent, insn.R5, 8) // x->parent = y
+}
+
+// emitTransplant replaces subtree u with v in u's parent (CLRS
+// RB-TRANSPLANT). u and v must not be R0/R1; clobbers R0, R1.
+func emitTransplant(b *asm.Builder, u, v insn.Reg) {
+	p2, p3, setp, done := rbLbl("tr-p2"), rbLbl("tr-p3"), rbLbl("tr-setp"), rbLbl("tr-done")
+	b.Load(insn.R0, u, rbParent, 8)
+	b.JmpImm(insn.JmpNe, insn.R0, 0, p2)
+	b.Store(rHeap, rbGlobRoot, v, 8)
+	b.Ja(setp)
+	b.Label(p2)
+	b.Load(insn.R1, insn.R0, rbLeft, 8)
+	b.JmpReg(insn.JmpNe, insn.R1, u, p3)
+	b.Store(insn.R0, rbLeft, v, 8)
+	b.Ja(setp)
+	b.Label(p3)
+	b.Store(insn.R0, rbRight, v, 8)
+	b.Label(setp)
+	b.JmpImm(insn.JmpEq, v, 0, done)
+	b.Store(v, rbParent, insn.R0, 8)
+	b.Label(done)
+}
+
+// emitColorOf loads colorOf(node) into dst (NULL is black). dst != node.
+func emitColorOf(b *asm.Builder, dst, node insn.Reg) {
+	isNull, done := rbLbl("col-null"), rbLbl("col-done")
+	b.JmpImm(insn.JmpEq, node, 0, isNull)
+	b.Load(dst, node, rbColor, 8)
+	b.Ja(done)
+	b.Label(isNull)
+	b.MovImm(dst, 1)
+	b.Label(done)
+}
+
+// rbProgram builds the red-black tree extension: full CLRS insert and
+// delete with rebalancing, every node allocated with kflex_malloc. This is
+// the structure eBPF only recently gained a bespoke kernel implementation
+// for (§2.2 cites the rbtree-map patches); KFlex lets the extension define
+// it directly.
+func rbProgram() *asm.Builder {
+	b := asm.New()
+	prologue(b)
+
+	// --- init -------------------------------------------------------------
+	b.Label("init")
+	b.Mov(insn.R1, rHeap)
+	b.StoreImm(insn.R1, rbGlobRoot, 0, 8)
+	b.Ret(0)
+	b.Label("oom")
+	b.Ret(RetOOM)
+
+	// --- lookup: plain BST search ------------------------------------------
+	b.Label("lookup")
+	b.Load(rCur, rHeap, rbGlobRoot, 8)
+	b.Label("rlk-loop")
+	b.JmpImm(insn.JmpEq, rCur, 0, "rlk-miss")
+	b.Load(insn.R0, rCur, rbKey, 8)
+	b.JmpReg(insn.JmpEq, insn.R0, rKey, "rlk-hit")
+	b.JmpReg(insn.JmpLt, rKey, insn.R0, "rlk-left")
+	b.Load(rCur, rCur, rbRight, 8)
+	b.Ja("rlk-loop")
+	b.Label("rlk-left")
+	b.Load(rCur, rCur, rbLeft, 8)
+	b.Ja("rlk-loop")
+	b.Label("rlk-hit")
+	b.Load(insn.R0, rCur, rbVal, 8)
+	b.Store(rCtx, ctxOut, insn.R0, 8)
+	b.Ret(RetFound)
+	b.Label("rlk-miss")
+	b.Ret(RetMiss)
+
+	// --- update: BST insert + insert fixup ----------------------------------
+	b.Label("update")
+	b.Load(rCur, rHeap, rbGlobRoot, 8)
+	b.MovImm(insn.R5, 0) // parent
+	b.MovImm(insn.R4, 0) // dir: 0 = left, 1 = right
+	b.Label("rup-search")
+	b.JmpImm(insn.JmpEq, rCur, 0, "rup-insert")
+	b.Load(insn.R0, rCur, rbKey, 8)
+	b.JmpReg(insn.JmpNe, insn.R0, rKey, "rup-descend")
+	b.Load(insn.R1, rCtx, ctxVal, 8) // key exists: overwrite
+	b.Store(rCur, rbVal, insn.R1, 8)
+	b.Ret(0)
+	b.Label("rup-descend")
+	b.Mov(insn.R5, rCur)
+	b.JmpReg(insn.JmpLt, rKey, insn.R0, "rup-go-left")
+	b.MovImm(insn.R4, 1)
+	b.Load(rCur, rCur, rbRight, 8)
+	b.Ja("rup-search")
+	b.Label("rup-go-left")
+	b.MovImm(insn.R4, 0)
+	b.Load(rCur, rCur, rbLeft, 8)
+	b.Ja("rup-search")
+
+	b.Label("rup-insert")
+	b.Store(insn.R10, -8, insn.R5, 8)  // spill parent
+	b.Store(insn.R10, -16, insn.R4, 8) // spill dir
+	b.MovImm(insn.R1, rbSize)
+	b.Call(kernel.HelperKflexMalloc)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "oom")
+	b.Mov(rCur, insn.R0) // z
+	b.Store(rCur, rbKey, rKey, 8)
+	b.Load(insn.R1, rCtx, ctxVal, 8)
+	b.Store(rCur, rbVal, insn.R1, 8)
+	b.StoreImm(rCur, rbLeft, 0, 8)
+	b.StoreImm(rCur, rbRight, 0, 8)
+	b.StoreImm(rCur, rbColor, 0, 8) // red
+	b.Load(insn.R5, insn.R10, -8, 8)
+	b.Store(rCur, rbParent, insn.R5, 8)
+	b.JmpImm(insn.JmpNe, insn.R5, 0, "rup-link")
+	b.Store(rHeap, rbGlobRoot, rCur, 8) // first node becomes the root
+	b.Ja("rup-fix")
+	b.Label("rup-link")
+	b.Load(insn.R4, insn.R10, -16, 8)
+	b.JmpImm(insn.JmpEq, insn.R4, 0, "rup-link-left")
+	b.Store(insn.R5, rbRight, rCur, 8)
+	b.Ja("rup-fix")
+	b.Label("rup-link-left")
+	b.Store(insn.R5, rbLeft, rCur, 8)
+
+	// Insert fixup (CLRS RB-INSERT-FIXUP); z in rCur.
+	b.Label("rup-fix")
+	b.Load(insn.R5, rCur, rbParent, 8) // p
+	b.JmpImm(insn.JmpEq, insn.R5, 0, "rup-fix-done")
+	b.Load(insn.R0, insn.R5, rbColor, 8)
+	b.JmpImm(insn.JmpNe, insn.R0, 0, "rup-fix-done") // p black
+	b.Load(insn.R4, insn.R5, rbParent, 8)            // g (non-NULL: red p is never root)
+	b.Load(insn.R0, insn.R4, rbLeft, 8)
+	b.JmpReg(insn.JmpEq, insn.R0, insn.R5, "rup-fix-l")
+
+	// p == g->right.
+	b.Load(insn.R3, insn.R4, rbLeft, 8) // uncle
+	emitColorOf(b, insn.R0, insn.R3)
+	b.JmpImm(insn.JmpNe, insn.R0, 0, "rup-r-rotate")
+	b.StoreImm(insn.R5, rbColor, 1, 8) // recolor
+	b.StoreImm(insn.R3, rbColor, 1, 8)
+	b.StoreImm(insn.R4, rbColor, 0, 8)
+	b.Mov(rCur, insn.R4) // z = g
+	b.Ja("rup-fix")
+	b.Label("rup-r-rotate")
+	b.Load(insn.R0, insn.R5, rbLeft, 8)
+	b.JmpReg(insn.JmpNe, insn.R0, rCur, "rup-r-noinner")
+	b.Mov(rCur, insn.R5) // z = p
+	b.Mov(insn.R2, rCur)
+	emitRotate(b, false) // rotate right around z
+	b.Label("rup-r-noinner")
+	b.Load(insn.R5, rCur, rbParent, 8)
+	b.StoreImm(insn.R5, rbColor, 1, 8) // p -> black
+	b.Load(insn.R4, insn.R5, rbParent, 8)
+	b.StoreImm(insn.R4, rbColor, 0, 8) // g -> red
+	b.Mov(insn.R2, insn.R4)
+	emitRotate(b, true) // rotate left around g
+	b.Ja("rup-fix")
+
+	// p == g->left (mirror).
+	b.Label("rup-fix-l")
+	b.Load(insn.R3, insn.R4, rbRight, 8) // uncle
+	emitColorOf(b, insn.R0, insn.R3)
+	b.JmpImm(insn.JmpNe, insn.R0, 0, "rup-l-rotate")
+	b.StoreImm(insn.R5, rbColor, 1, 8)
+	b.StoreImm(insn.R3, rbColor, 1, 8)
+	b.StoreImm(insn.R4, rbColor, 0, 8)
+	b.Mov(rCur, insn.R4)
+	b.Ja("rup-fix")
+	b.Label("rup-l-rotate")
+	b.Load(insn.R0, insn.R5, rbRight, 8)
+	b.JmpReg(insn.JmpNe, insn.R0, rCur, "rup-l-noinner")
+	b.Mov(rCur, insn.R5)
+	b.Mov(insn.R2, rCur)
+	emitRotate(b, true) // rotate left around z
+	b.Label("rup-l-noinner")
+	b.Load(insn.R5, rCur, rbParent, 8)
+	b.StoreImm(insn.R5, rbColor, 1, 8)
+	b.Load(insn.R4, insn.R5, rbParent, 8)
+	b.StoreImm(insn.R4, rbColor, 0, 8)
+	b.Mov(insn.R2, insn.R4)
+	emitRotate(b, false) // rotate right around g
+	b.Ja("rup-fix")
+
+	b.Label("rup-fix-done")
+	b.Load(insn.R0, rHeap, rbGlobRoot, 8)
+	b.StoreImm(insn.R0, rbColor, 1, 8) // root is always black
+	b.Ret(0)
+
+	// --- delete: CLRS RB-DELETE with explicit (x, xParent) ------------------
+	// Spills: fp-8 = x, fp-16 = xParent, fp-24 = yColor, fp-32 = z.
+	b.Label("delete")
+	b.Load(rCur, rHeap, rbGlobRoot, 8)
+	b.Label("rdl-find")
+	b.JmpImm(insn.JmpEq, rCur, 0, "rdl-miss")
+	b.Load(insn.R0, rCur, rbKey, 8)
+	b.JmpReg(insn.JmpEq, insn.R0, rKey, "rdl-found")
+	b.JmpReg(insn.JmpLt, rKey, insn.R0, "rdl-left")
+	b.Load(rCur, rCur, rbRight, 8)
+	b.Ja("rdl-find")
+	b.Label("rdl-left")
+	b.Load(rCur, rCur, rbLeft, 8)
+	b.Ja("rdl-find")
+	b.Label("rdl-miss")
+	b.Ret(RetMiss)
+
+	b.Label("rdl-found")
+	b.Store(insn.R10, -32, rCur, 8) // spill z
+	b.Load(insn.R0, rCur, rbLeft, 8)
+	b.JmpImm(insn.JmpNe, insn.R0, 0, "rdl-has-left")
+	// No left child: x = z->right, xParent = z->parent.
+	b.Load(insn.R3, rCur, rbRight, 8)
+	b.Load(insn.R4, rCur, rbParent, 8)
+	b.Load(insn.R1, rCur, rbColor, 8)
+	b.Store(insn.R10, -24, insn.R1, 8)
+	emitTransplant(b, rCur, insn.R3)
+	b.Ja("rdl-fix-check")
+
+	b.Label("rdl-has-left")
+	b.Load(insn.R1, rCur, rbRight, 8)
+	b.JmpImm(insn.JmpNe, insn.R1, 0, "rdl-two")
+	// Only a left child: x = z->left.
+	b.Load(insn.R3, rCur, rbLeft, 8)
+	b.Load(insn.R4, rCur, rbParent, 8)
+	b.Load(insn.R1, rCur, rbColor, 8)
+	b.Store(insn.R10, -24, insn.R1, 8)
+	emitTransplant(b, rCur, insn.R3)
+	b.Ja("rdl-fix-check")
+
+	// Two children: y = minimum(z->right) replaces z.
+	b.Label("rdl-two")
+	b.Mov(insn.R5, insn.R1) // y = z->right
+	b.Label("rdl-min")
+	b.Load(insn.R0, insn.R5, rbLeft, 8)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "rdl-min-done")
+	b.Mov(insn.R5, insn.R0)
+	b.Ja("rdl-min")
+	b.Label("rdl-min-done")
+	b.Load(insn.R1, insn.R5, rbColor, 8)
+	b.Store(insn.R10, -24, insn.R1, 8)   // yColor
+	b.Load(insn.R3, insn.R5, rbRight, 8) // x = y->right
+	b.Load(insn.R0, insn.R5, rbParent, 8)
+	b.JmpReg(insn.JmpNe, insn.R0, rCur, "rdl-far-min")
+	b.Mov(insn.R4, insn.R5) // y is z's child: xParent = y
+	b.Ja("rdl-splice")
+	b.Label("rdl-far-min")
+	b.Mov(insn.R4, insn.R0) // xParent = y->parent
+	emitTransplant(b, insn.R5, insn.R3)
+	b.Load(insn.R0, rCur, rbRight, 8) // y->right = z->right
+	b.Store(insn.R5, rbRight, insn.R0, 8)
+	b.Store(insn.R0, rbParent, insn.R5, 8)
+	b.Label("rdl-splice")
+	emitTransplant(b, rCur, insn.R5)
+	b.Load(insn.R0, rCur, rbLeft, 8) // y->left = z->left
+	b.Store(insn.R5, rbLeft, insn.R0, 8)
+	b.Store(insn.R0, rbParent, insn.R5, 8)
+	b.Load(insn.R0, rCur, rbColor, 8) // y->color = z->color
+	b.Store(insn.R5, rbColor, insn.R0, 8)
+
+	b.Label("rdl-fix-check")
+	b.Load(insn.R0, insn.R10, -24, 8)
+	b.JmpImm(insn.JmpNe, insn.R0, 1, "rdl-free") // removed a red node: done
+
+	// Delete fixup (CLRS RB-DELETE-FIXUP); x in R3, parent in R4.
+	b.Label("rdl-fix")
+	b.Load(insn.R0, rHeap, rbGlobRoot, 8)
+	b.JmpReg(insn.JmpEq, insn.R3, insn.R0, "rdl-fix-done")
+	emitColorOf(b, insn.R0, insn.R3)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "rdl-fix-done") // x red: recolor at end
+	b.JmpImm(insn.JmpEq, insn.R4, 0, "rdl-fix-done")
+	b.Load(insn.R0, insn.R4, rbLeft, 8)
+	b.JmpReg(insn.JmpEq, insn.R0, insn.R3, "rdl-fx-l")
+
+	// x == parent->right; w = parent->left (mirror arm).
+	b.Load(insn.R5, insn.R4, rbLeft, 8)
+	b.Load(insn.R0, insn.R5, rbColor, 8)
+	b.JmpImm(insn.JmpNe, insn.R0, 0, "rdl-r-wblack")
+	b.StoreImm(insn.R5, rbColor, 1, 8) // case 1: red sibling
+	b.StoreImm(insn.R4, rbColor, 0, 8)
+	b.Mov(insn.R2, insn.R4)
+	emitRotate(b, false) // rotate right around parent
+	b.Load(insn.R5, insn.R4, rbLeft, 8)
+	b.Label("rdl-r-wblack")
+	b.Load(insn.R1, insn.R5, rbRight, 8)
+	emitColorOf(b, insn.R0, insn.R1)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "rdl-r-case34")
+	b.Load(insn.R1, insn.R5, rbLeft, 8)
+	emitColorOf(b, insn.R0, insn.R1)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "rdl-r-case34")
+	b.StoreImm(insn.R5, rbColor, 0, 8) // case 2: both nephews black
+	b.Mov(insn.R3, insn.R4)            // x = parent
+	b.Load(insn.R4, insn.R3, rbParent, 8)
+	b.Ja("rdl-fix")
+	b.Label("rdl-r-case34")
+	b.Load(insn.R1, insn.R5, rbLeft, 8)
+	emitColorOf(b, insn.R0, insn.R1)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "rdl-r-case4")
+	// case 3: w->left black -> rotate left around w.
+	b.Load(insn.R1, insn.R5, rbRight, 8)
+	b.JmpImm(insn.JmpEq, insn.R1, 0, "rdl-r-c3nr")
+	b.StoreImm(insn.R1, rbColor, 1, 8)
+	b.Label("rdl-r-c3nr")
+	b.StoreImm(insn.R5, rbColor, 0, 8)
+	b.Mov(insn.R2, insn.R5)
+	emitRotate(b, true)
+	b.Load(insn.R5, insn.R4, rbLeft, 8)
+	b.Label("rdl-r-case4")
+	b.Load(insn.R0, insn.R4, rbColor, 8) // w->color = parent->color
+	b.Store(insn.R5, rbColor, insn.R0, 8)
+	b.StoreImm(insn.R4, rbColor, 1, 8)
+	b.Load(insn.R1, insn.R5, rbLeft, 8)
+	b.JmpImm(insn.JmpEq, insn.R1, 0, "rdl-r-c4nl")
+	b.StoreImm(insn.R1, rbColor, 1, 8)
+	b.Label("rdl-r-c4nl")
+	b.Mov(insn.R2, insn.R4)
+	emitRotate(b, false)
+	b.Load(insn.R3, rHeap, rbGlobRoot, 8) // x = root terminates the loop
+	b.MovImm(insn.R4, 0)
+	b.Ja("rdl-fix")
+
+	// x == parent->left; w = parent->right.
+	b.Label("rdl-fx-l")
+	b.Load(insn.R5, insn.R4, rbRight, 8)
+	b.Load(insn.R0, insn.R5, rbColor, 8)
+	b.JmpImm(insn.JmpNe, insn.R0, 0, "rdl-l-wblack")
+	b.StoreImm(insn.R5, rbColor, 1, 8)
+	b.StoreImm(insn.R4, rbColor, 0, 8)
+	b.Mov(insn.R2, insn.R4)
+	emitRotate(b, true)
+	b.Load(insn.R5, insn.R4, rbRight, 8)
+	b.Label("rdl-l-wblack")
+	b.Load(insn.R1, insn.R5, rbLeft, 8)
+	emitColorOf(b, insn.R0, insn.R1)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "rdl-l-case34")
+	b.Load(insn.R1, insn.R5, rbRight, 8)
+	emitColorOf(b, insn.R0, insn.R1)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "rdl-l-case34")
+	b.StoreImm(insn.R5, rbColor, 0, 8)
+	b.Mov(insn.R3, insn.R4)
+	b.Load(insn.R4, insn.R3, rbParent, 8)
+	b.Ja("rdl-fix")
+	b.Label("rdl-l-case34")
+	b.Load(insn.R1, insn.R5, rbRight, 8)
+	emitColorOf(b, insn.R0, insn.R1)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "rdl-l-case4")
+	b.Load(insn.R1, insn.R5, rbLeft, 8)
+	b.JmpImm(insn.JmpEq, insn.R1, 0, "rdl-l-c3nl")
+	b.StoreImm(insn.R1, rbColor, 1, 8)
+	b.Label("rdl-l-c3nl")
+	b.StoreImm(insn.R5, rbColor, 0, 8)
+	b.Mov(insn.R2, insn.R5)
+	emitRotate(b, false)
+	b.Load(insn.R5, insn.R4, rbRight, 8)
+	b.Label("rdl-l-case4")
+	b.Load(insn.R0, insn.R4, rbColor, 8)
+	b.Store(insn.R5, rbColor, insn.R0, 8)
+	b.StoreImm(insn.R4, rbColor, 1, 8)
+	b.Load(insn.R1, insn.R5, rbRight, 8)
+	b.JmpImm(insn.JmpEq, insn.R1, 0, "rdl-l-c4nr")
+	b.StoreImm(insn.R1, rbColor, 1, 8)
+	b.Label("rdl-l-c4nr")
+	b.Mov(insn.R2, insn.R4)
+	emitRotate(b, true)
+	b.Load(insn.R3, rHeap, rbGlobRoot, 8)
+	b.MovImm(insn.R4, 0)
+	b.Ja("rdl-fix")
+
+	b.Label("rdl-fix-done")
+	b.JmpImm(insn.JmpEq, insn.R3, 0, "rdl-free")
+	b.StoreImm(insn.R3, rbColor, 1, 8)
+	b.Label("rdl-free")
+	b.Load(insn.R1, insn.R10, -32, 8)
+	b.Call(kernel.HelperKflexFree)
+	b.Ret(RetFound)
+
+	return b
+}

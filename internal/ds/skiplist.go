@@ -1,0 +1,263 @@
+package ds
+
+import (
+	"kflex/asm"
+	"kflex/insn"
+	"kflex/internal/kernel"
+)
+
+// Skip list layout. Nodes carry a full-height tower (size classes round up
+// anyway); the search path ("update" array) lives in a heap scratch area
+// because stack slots must have constant offsets.
+const (
+	snKey   = 0
+	snVal   = 8
+	snLevel = 16
+	snNext  = 24 // next[i] at snNext + 8*i
+	snSize  = snNext + 8*SkipMaxLevel
+
+	skGlobHead    = globalsOff      // head node pointer
+	skGlobLevel   = globalsOff + 8  // current list level
+	skGlobScratch = globalsOff + 64 // update[SkipMaxLevel] search path
+)
+
+// emitTowerAddr computes &node->next[i&15] into dst (clobbers R0):
+// dst = node + snNext + (i&15)*8. Masking bounds the delta so accesses
+// through sanitized nodes elide their guards (§3.2 range analysis).
+func emitTowerAddr(b *asm.Builder, dst, node, i insn.Reg) {
+	b.Mov(insn.R0, i)
+	b.I(insn.Alu64Imm(insn.AluAnd, insn.R0, SkipMaxLevel-1))
+	b.I(insn.Alu64Imm(insn.AluLsh, insn.R0, 3))
+	b.Mov(dst, node)
+	b.Add(dst, snNext)
+	b.AddReg(dst, insn.R0)
+}
+
+// emitScratchAddr computes &scratch[i&15] into dst (clobbers R0).
+func emitScratchAddr(b *asm.Builder, dst, i insn.Reg) {
+	b.Mov(insn.R0, i)
+	b.I(insn.Alu64Imm(insn.AluAnd, insn.R0, SkipMaxLevel-1))
+	b.I(insn.Alu64Imm(insn.AluLsh, insn.R0, 3))
+	b.Mov(dst, rHeap)
+	b.Add(dst, skGlobScratch)
+	b.AddReg(dst, insn.R0)
+}
+
+// emitSearch walks the list from the top level down, leaving the
+// predecessor at every level in the scratch array and the level-0
+// predecessor in rCur. Uses R4 (level index) and R1–R3; prefix
+// disambiguates labels.
+func emitSearch(b *asm.Builder, prefix string) {
+	b.Load(rCur, rHeap, skGlobHead, 8) // x = head
+	b.Load(insn.R4, rHeap, skGlobLevel, 8)
+	b.Add(insn.R4, -1) // i = level - 1
+	b.Label(prefix + "-lvl")
+	b.JmpImm(insn.JmpSlt, insn.R4, 0, prefix+"-done")
+	b.Label(prefix + "-inner")
+	emitTowerAddr(b, insn.R2, rCur, insn.R4)
+	b.Load(insn.R3, insn.R2, 0, 8) // next = x->next[i]
+	b.JmpImm(insn.JmpEq, insn.R3, 0, prefix+"-drop")
+	b.Load(insn.R1, insn.R3, snKey, 8) // next->key
+	b.JmpReg(insn.JmpGe, insn.R1, rKey, prefix+"-drop")
+	b.Mov(rCur, insn.R3) // x = next
+	b.Ja(prefix + "-inner")
+	b.Label(prefix + "-drop")
+	emitScratchAddr(b, insn.R2, insn.R4)
+	b.Store(insn.R2, 0, rCur, 8) // update[i] = x
+	b.Add(insn.R4, -1)
+	b.Ja(prefix + "-lvl")
+	b.Label(prefix + "-done")
+}
+
+// emitCandidate loads x->next[0] into dst after a search.
+func emitCandidate(b *asm.Builder, dst insn.Reg) {
+	b.Load(dst, rCur, snNext, 8)
+}
+
+// Skip-list emitter stack-frame slots (callers must not reuse them):
+// fp-8 = newLevel, fp-16 = free spill, fp-24 = value to insert.
+const (
+	fpSkipLevel = -8
+	fpSkipFree  = -16
+	fpSkipVal   = -24
+)
+
+// emitSkipInsert inserts (R7, *(fp-24)) into the skip list, overwriting an
+// existing key. Jumps to doneLbl when finished and to oomLbl when the heap
+// is exhausted. Clobbers R0–R5 and rCur; prefix disambiguates labels.
+func emitSkipInsert(b *asm.Builder, prefix, doneLbl, oomLbl string) {
+	l := func(s string) string { return prefix + s }
+	// Draw the tower height first (the helper clobbers R1–R5).
+	b.Call(kernel.HelperPrandomU32)
+	b.MovImm(insn.R5, 1) // lvl = 1
+	b.Label(l("-rnd"))
+	b.JmpImm(insn.JmpEq, insn.R5, SkipMaxLevel, l("-rnd-done"))
+	b.Mov(insn.R1, insn.R0)
+	b.I(insn.Alu64Imm(insn.AluAnd, insn.R1, 1))
+	b.JmpImm(insn.JmpEq, insn.R1, 0, l("-rnd-done"))
+	b.Add(insn.R5, 1)
+	b.I(insn.Alu64Imm(insn.AluRsh, insn.R0, 1))
+	b.Ja(l("-rnd"))
+	b.Label(l("-rnd-done"))
+	b.Store(insn.R10, fpSkipLevel, insn.R5, 8)
+
+	emitSearch(b, l("-srch"))
+	emitCandidate(b, insn.R3)
+	b.JmpImm(insn.JmpEq, insn.R3, 0, l("-insert"))
+	b.Load(insn.R1, insn.R3, snKey, 8)
+	b.JmpReg(insn.JmpNe, insn.R1, rKey, l("-insert"))
+	b.Load(insn.R1, insn.R10, fpSkipVal, 8) // overwrite existing
+	b.Store(insn.R3, snVal, insn.R1, 8)
+	b.Ja(doneLbl)
+
+	b.Label(l("-insert"))
+	// Extend the list level if the new tower is taller: update[i] = head
+	// for i in [level, newLevel).
+	b.Load(insn.R4, rHeap, skGlobLevel, 8) // i = level
+	b.Load(insn.R5, insn.R10, fpSkipLevel, 8)
+	b.Label(l("-extend"))
+	b.JmpReg(insn.JmpGe, insn.R4, insn.R5, l("-extend-done"))
+	b.Load(insn.R3, rHeap, skGlobHead, 8)
+	emitScratchAddr(b, insn.R2, insn.R4)
+	b.Store(insn.R2, 0, insn.R3, 8)
+	b.Add(insn.R4, 1)
+	b.Ja(l("-extend"))
+	b.Label(l("-extend-done"))
+	// level = max(level, newLevel)
+	b.Load(insn.R1, rHeap, skGlobLevel, 8)
+	b.JmpReg(insn.JmpGe, insn.R1, insn.R5, l("-lvl-keep"))
+	b.Store(rHeap, skGlobLevel, insn.R5, 8)
+	b.Label(l("-lvl-keep"))
+
+	b.MovImm(insn.R1, snSize)
+	b.Call(kernel.HelperKflexMalloc)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, oomLbl)
+	b.Mov(rCur, insn.R0) // n
+	b.Store(rCur, snKey, rKey, 8)
+	b.Load(insn.R1, insn.R10, fpSkipVal, 8)
+	b.Store(rCur, snVal, insn.R1, 8)
+	b.Load(insn.R5, insn.R10, fpSkipLevel, 8)
+	b.Store(rCur, snLevel, insn.R5, 8)
+	// Splice: for i in [0, newLevel): n->next[i] = update[i]->next[i];
+	// update[i]->next[i] = n.
+	b.MovImm(insn.R4, 0)
+	b.Label(l("-splice"))
+	b.JmpReg(insn.JmpGe, insn.R4, insn.R5, doneLbl)
+	emitScratchAddr(b, insn.R2, insn.R4)
+	b.Load(insn.R3, insn.R2, 0, 8) // pred = update[i]
+	emitTowerAddr(b, insn.R2, insn.R3, insn.R4)
+	b.Load(insn.R1, insn.R2, 0, 8) // pred->next[i]
+	b.Store(insn.R2, 0, rCur, 8)   // pred->next[i] = n
+	emitTowerAddr(b, insn.R2, rCur, insn.R4)
+	b.Store(insn.R2, 0, insn.R1, 8) // n->next[i] = old
+	b.Add(insn.R4, 1)
+	b.Ja(l("-splice"))
+}
+
+// emitSkipDelete removes R7 from the skip list if present; R0 := 1 when a
+// node was removed, 0 otherwise. Jumps to doneLbl when finished. Clobbers
+// R0–R5 and rCur.
+func emitSkipDelete(b *asm.Builder, prefix, doneLbl string) {
+	l := func(s string) string { return prefix + s }
+	emitSearch(b, l("-srch"))
+	emitCandidate(b, insn.R3)
+	b.JmpImm(insn.JmpEq, insn.R3, 0, l("-miss"))
+	b.Load(insn.R1, insn.R3, snKey, 8)
+	b.JmpReg(insn.JmpNe, insn.R1, rKey, l("-miss"))
+	b.Mov(rCur, insn.R3)                   // n (shadowing the search cursor)
+	b.Store(insn.R10, fpSkipFree, rCur, 8) // spill n for the free call
+	// Unsplice every level that points at n.
+	b.MovImm(insn.R4, 0)
+	b.Load(insn.R5, rHeap, skGlobLevel, 8)
+	b.Label(l("-unsplice"))
+	b.JmpReg(insn.JmpGe, insn.R4, insn.R5, l("-unsplice-done"))
+	emitScratchAddr(b, insn.R2, insn.R4)
+	b.Load(insn.R3, insn.R2, 0, 8) // pred = update[i]
+	emitTowerAddr(b, insn.R2, insn.R3, insn.R4)
+	b.Load(insn.R1, insn.R2, 0, 8) // pred->next[i]
+	b.JmpReg(insn.JmpNe, insn.R1, rCur, l("-next-level"))
+	emitTowerAddr(b, insn.R3, rCur, insn.R4)
+	b.Load(insn.R3, insn.R3, 0, 8)  // n->next[i]
+	b.Store(insn.R2, 0, insn.R3, 8) // pred->next[i] = n->next[i]
+	b.Label(l("-next-level"))
+	b.Add(insn.R4, 1)
+	b.Ja(l("-unsplice"))
+	b.Label(l("-unsplice-done"))
+	// Shrink the list level while the top level is empty.
+	b.Label(l("-shrink"))
+	b.Load(insn.R5, rHeap, skGlobLevel, 8)
+	b.JmpImm(insn.JmpLe, insn.R5, 1, l("-free"))
+	b.Load(insn.R3, rHeap, skGlobHead, 8)
+	b.Mov(insn.R4, insn.R5)
+	b.Add(insn.R4, -1)
+	emitTowerAddr(b, insn.R2, insn.R3, insn.R4)
+	b.Load(insn.R1, insn.R2, 0, 8)
+	b.JmpImm(insn.JmpNe, insn.R1, 0, l("-free"))
+	b.Store(rHeap, skGlobLevel, insn.R4, 8)
+	b.Ja(l("-shrink"))
+	b.Label(l("-free"))
+	b.Load(insn.R1, insn.R10, fpSkipFree, 8)
+	b.Call(kernel.HelperKflexFree)
+	b.MovImm(insn.R0, 1)
+	b.Ja(doneLbl)
+	b.Label(l("-miss"))
+	b.MovImm(insn.R0, 0)
+	b.Ja(doneLbl)
+}
+
+// emitSkipInit allocates the head tower and sets level = 1, jumping to
+// oomLbl on exhaustion and falling through on success.
+func emitSkipInit(b *asm.Builder, oomLbl string) {
+	b.MovImm(insn.R1, snSize)
+	b.Call(kernel.HelperKflexMalloc)
+	b.JmpImm(insn.JmpEq, insn.R0, 0, oomLbl)
+	b.Store(rHeap, skGlobHead, insn.R0, 8)
+	b.MovImm(insn.R1, 1)
+	b.Store(rHeap, skGlobLevel, insn.R1, 8)
+}
+
+// skipProgram builds the skip-list extension (the structure Redis's ZADD
+// offload depends on, §5.2).
+func skipProgram() *asm.Builder {
+	b := asm.New()
+	prologue(b)
+
+	// --- init: allocate the head tower, level = 1 -----------------------
+	b.Label("init")
+	emitSkipInit(b, "oom")
+	b.Ret(0)
+	b.Label("oom")
+	b.Ret(RetOOM)
+
+	// --- lookup ----------------------------------------------------------
+	b.Label("lookup")
+	emitSearch(b, "slk")
+	emitCandidate(b, insn.R3)
+	b.JmpImm(insn.JmpEq, insn.R3, 0, "slk-miss")
+	b.Load(insn.R1, insn.R3, snKey, 8)
+	b.JmpReg(insn.JmpNe, insn.R1, rKey, "slk-miss")
+	b.Load(insn.R1, insn.R3, snVal, 8)
+	b.Store(rCtx, ctxOut, insn.R1, 8)
+	b.Ret(RetFound)
+	b.Label("slk-miss")
+	b.Ret(RetMiss)
+
+	// --- update ----------------------------------------------------------
+	b.Label("update")
+	b.Load(insn.R1, rCtx, ctxVal, 8)
+	b.Store(insn.R10, fpSkipVal, insn.R1, 8)
+	emitSkipInsert(b, "sup", "up-done", "oom")
+	b.Label("up-done")
+	b.Ret(0)
+
+	// --- delete ----------------------------------------------------------
+	b.Label("delete")
+	emitSkipDelete(b, "sdl", "dl-done")
+	b.Label("dl-done")
+	b.JmpImm(insn.JmpEq, insn.R0, 0, "dl-miss")
+	b.Ret(RetFound)
+	b.Label("dl-miss")
+	b.Ret(RetMiss)
+
+	return b
+}

@@ -1,0 +1,488 @@
+// Package heap implements KFlex extension heaps (§3.2, §4.1 of the paper):
+// memory regions fully owned and managed by an extension, allocated at a
+// size-aligned simulated virtual address so that SFI sanitization reduces to
+// one mask and one add, surrounded by guard zones that absorb the signed
+// 16-bit displacement of load/store instructions, demand-paged in 4 KiB
+// units, and mappable a second time at a user-space base for transparent
+// sharing with applications (§3.4).
+//
+// The backing store is a []uint64 so that aligned 32- and 64-bit atomic
+// operations map onto sync/atomic primitives, exactly as heap words behave
+// for concurrently running extensions and user threads. Non-atomic accesses
+// require the same external synchronization (KFlex spin locks) the paper's
+// extensions use.
+package heap
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// PageSize is the demand-paging granularity.
+	PageSize = 4096
+	// GuardZone is the guard region placed on either side of a heap. It
+	// matches the ±32 KiB reach of the eBPF load/store displacement
+	// (§4.1: 16-bit signed offsets range over ±2^15).
+	GuardZone = 32 << 10
+	// MinSize is the smallest heap: one page.
+	MinSize = PageSize
+	// MaxSize caps a single heap at 16 GiB; the paper's example declares
+	// a 16 GB heap (Listing 1), beyond eBPF arena's 4 GB limit (§4.5).
+	MaxSize = 16 << 30
+)
+
+// FaultKind classifies a failed heap access.
+type FaultKind int
+
+const (
+	// FaultOOB is an access outside [base, base+size): a guard-zone hit
+	// or a wild address.
+	FaultOOB FaultKind = iota
+	// FaultUnmapped is an in-bounds access to a page that has no backing
+	// store yet (§3.3: class-2 cancellation points exist because heaps
+	// are not pre-populated).
+	FaultUnmapped
+	// FaultUnaligned is a misaligned atomic operation.
+	FaultUnaligned
+	// FaultClosed is an access to a heap whose owner has freed it.
+	FaultClosed
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultOOB:
+		return "out-of-bounds"
+	case FaultUnmapped:
+		return "unmapped-page"
+	case FaultUnaligned:
+		return "unaligned-atomic"
+	case FaultClosed:
+		return "heap-closed"
+	}
+	return "unknown"
+}
+
+// Fault describes a failed heap access. The KFlex runtime converts faults
+// raised during extension execution into cancellations.
+type Fault struct {
+	Addr uint64
+	Kind FaultKind
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("heap fault: %s at %#x", f.Kind, f.Addr)
+}
+
+// Arena hands out size-aligned virtual address ranges with guard zones,
+// mimicking the kernel's vmalloc region. Alignment requirements fragment
+// the space (§4.1); Wasted reports the bytes lost to alignment skips.
+type Arena struct {
+	mu     sync.Mutex
+	cursor uint64
+	limit  uint64
+	wasted uint64
+}
+
+// Simulated address-space layout.
+const (
+	// KernelVABase mirrors the x86-64 vmalloc base.
+	KernelVABase = 0xffffc90000000000
+	KernelVASize = 1 << 45
+	// UserVABase is where user-space mappings of heaps are placed.
+	UserVABase = 0x00007f0000000000
+	UserVASize = 1 << 44
+)
+
+// NewArena returns an arena spanning [base, base+size).
+func NewArena(base, size uint64) *Arena {
+	return &Arena{cursor: base, limit: base + size}
+}
+
+// NewKernelArena returns an arena over the simulated vmalloc region.
+func NewKernelArena() *Arena { return NewArena(KernelVABase, KernelVASize) }
+
+// NewUserArena returns an arena over the simulated user mapping region.
+func NewUserArena() *Arena { return NewArena(UserVABase, UserVASize) }
+
+// Reserve allocates a size-aligned range of the given size, keeping a guard
+// zone before and after it. size must be a power of two.
+func (a *Arena) Reserve(size uint64) (uint64, error) {
+	if size == 0 || size&(size-1) != 0 {
+		return 0, fmt.Errorf("heap: arena reservation size %#x is not a power of two", size)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	start := a.cursor + GuardZone
+	base := (start + size - 1) &^ (size - 1)
+	end := base + size + GuardZone
+	if end > a.limit || end < base {
+		return 0, fmt.Errorf("heap: arena exhausted reserving %#x bytes", size)
+	}
+	a.wasted += base - start
+	a.cursor = base + size + GuardZone
+	return base, nil
+}
+
+// Wasted returns the bytes lost to alignment skips so far.
+func (a *Arena) Wasted() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.wasted
+}
+
+// Heap is one extension heap.
+type Heap struct {
+	size     uint64
+	mask     uint64
+	extBase  uint64
+	userBase uint64
+
+	words []uint64
+	pages []atomic.Bool // mapped flag per page
+
+	closed    atomic.Bool
+	populated atomic.Uint64 // mapped page count, for accounting (memcg analogue)
+}
+
+var (
+	defaultKernelArena = NewKernelArena()
+	defaultUserArena   = NewUserArena()
+)
+
+// New creates a heap of the given power-of-two size in the default simulated
+// address space and maps it at a user-space base as well. No pages are
+// populated: backing memory appears on demand (§3.2).
+func New(size uint64) (*Heap, error) {
+	return NewInArena(size, defaultKernelArena, defaultUserArena)
+}
+
+// NewInArena creates a heap with explicit kernel- and user-side arenas.
+func NewInArena(size uint64, kernel, user *Arena) (*Heap, error) {
+	if size < MinSize || size > MaxSize || size&(size-1) != 0 {
+		return nil, fmt.Errorf("heap: size %#x must be a power of two in [%#x, %#x]", size, uint64(MinSize), uint64(MaxSize))
+	}
+	extBase, err := kernel.Reserve(size)
+	if err != nil {
+		return nil, err
+	}
+	userBase, err := user.Reserve(size)
+	if err != nil {
+		return nil, err
+	}
+	return &Heap{
+		size:     size,
+		mask:     size - 1,
+		extBase:  extBase,
+		userBase: userBase,
+		words:    make([]uint64, size/8),
+		pages:    make([]atomic.Bool, size/PageSize),
+	}, nil
+}
+
+// Size returns the heap size in bytes.
+func (h *Heap) Size() uint64 { return h.size }
+
+// Mask returns size-1, the sanitization mask.
+func (h *Heap) Mask() uint64 { return h.mask }
+
+// ExtBase returns the heap's base address in the extension address space.
+func (h *Heap) ExtBase() uint64 { return h.extBase }
+
+// UserBase returns the heap's base address in the user mapping.
+func (h *Heap) UserBase() uint64 { return h.userBase }
+
+// PopulatedPages returns the number of demand-mapped pages; the paper
+// charges these to the application's memory cgroup (§4.1).
+func (h *Heap) PopulatedPages() uint64 { return h.populated.Load() }
+
+// Close releases the heap. Subsequent accesses fault with FaultClosed.
+// The paper de-allocates a shared heap only when the owning application
+// closes its file descriptor or exits (§3.4).
+func (h *Heap) Close() { h.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+func (h *Heap) Closed() bool { return h.closed.Load() }
+
+// Sanitize applies the SFI transformation to an arbitrary 64-bit value:
+// keep the offset bits, add the base (§3.2). The result always lies within
+// [ExtBase, ExtBase+Size).
+func (h *Heap) Sanitize(addr uint64) uint64 { return (addr & h.mask) + h.extBase }
+
+// TranslateToUser rewrites an extension-VA heap pointer into the user
+// mapping (translate-on-store, §3.4). Values outside the heap translate by
+// offset anyway; the next dereference re-sanitizes, which the paper notes
+// keeps extension correctness intact.
+func (h *Heap) TranslateToUser(addr uint64) uint64 {
+	return (addr & h.mask) + h.userBase
+}
+
+// TranslateToExt rewrites a user-VA heap pointer into the extension mapping.
+func (h *Heap) TranslateToExt(addr uint64) uint64 {
+	return (addr & h.mask) + h.extBase
+}
+
+// Populate maps all pages overlapping [off, off+n). The allocator calls this
+// when it hands out memory, mirroring on-demand PTE population (§3.2).
+func (h *Heap) Populate(off, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	if off >= h.size || off+n > h.size || off+n < off {
+		return fmt.Errorf("heap: populate [%#x,%#x) outside heap of size %#x", off, off+n, h.size)
+	}
+	for p := off / PageSize; p <= (off+n-1)/PageSize; p++ {
+		if !h.pages[p].Swap(true) {
+			h.populated.Add(1)
+		}
+	}
+	return nil
+}
+
+// PageMapped reports whether the page containing offset off is populated.
+func (h *Heap) PageMapped(off uint64) bool {
+	if off >= h.size {
+		return false
+	}
+	return h.pages[off/PageSize].Load()
+}
+
+// offsetOf validates addr against the mapping based at base and returns the
+// heap offset of an n-byte access.
+func (h *Heap) offsetOf(addr uint64, n int, base uint64) (uint64, *Fault) {
+	if h.closed.Load() {
+		return 0, &Fault{Addr: addr, Kind: FaultClosed}
+	}
+	off := addr - base
+	if off >= h.size || off+uint64(n) > h.size {
+		return 0, &Fault{Addr: addr, Kind: FaultOOB}
+	}
+	// All pages spanned by the access must be mapped.
+	for p := off / PageSize; p <= (off+uint64(n)-1)/PageSize; p++ {
+		if !h.pages[p].Load() {
+			return 0, &Fault{Addr: addr, Kind: FaultUnmapped}
+		}
+	}
+	return off, nil
+}
+
+// loadOff reads n little-endian bytes at heap offset off.
+func (h *Heap) loadOff(off uint64, n int) uint64 {
+	w := off / 8
+	shift := (off % 8) * 8
+	v := h.words[w] >> shift
+	if rem := 64 - shift; rem < uint64(n)*8 {
+		v |= h.words[w+1] << rem
+	}
+	if n < 8 {
+		v &= (uint64(1) << (uint(n) * 8)) - 1
+	}
+	return v
+}
+
+// storeOff writes the low n bytes of val at heap offset off.
+func (h *Heap) storeOff(off uint64, n int, val uint64) {
+	w := off / 8
+	shift := (off % 8) * 8
+	var m uint64 = ^uint64(0)
+	if n < 8 {
+		m = (uint64(1) << (uint(n) * 8)) - 1
+	}
+	val &= m
+	h.words[w] = h.words[w]&^(m<<shift) | val<<shift
+	if rem := 64 - shift; rem < uint64(n)*8 {
+		h.words[w+1] = h.words[w+1]&^(m>>rem) | val>>rem
+	}
+}
+
+// View is one mapping of a heap: the extension view or the user view.
+// All addresses passed to its accessors are virtual addresses in that view.
+type View struct {
+	h    *Heap
+	base uint64
+}
+
+// ExtView returns the extension-address-space view.
+func (h *Heap) ExtView() View { return View{h: h, base: h.extBase} }
+
+// UserView returns the user-address-space view.
+func (h *Heap) UserView() View { return View{h: h, base: h.userBase} }
+
+// Base returns the view's base address.
+func (v View) Base() uint64 { return v.base }
+
+// Heap returns the underlying heap.
+func (v View) Heap() *Heap { return v.h }
+
+// Contains reports whether addr falls inside this view of the heap.
+func (v View) Contains(addr uint64) bool {
+	return addr-v.base < v.h.size
+}
+
+// Load reads an n-byte little-endian value at addr (n ∈ {1,2,4,8}).
+func (v View) Load(addr uint64, n int) (uint64, error) {
+	off, f := v.h.offsetOf(addr, n, v.base)
+	if f != nil {
+		return 0, f
+	}
+	return v.h.loadOff(off, n), nil
+}
+
+// Store writes the low n bytes of val at addr.
+func (v View) Store(addr uint64, n int, val uint64) error {
+	off, f := v.h.offsetOf(addr, n, v.base)
+	if f != nil {
+		return f
+	}
+	v.h.storeOff(off, n, val)
+	return nil
+}
+
+// atomicWord validates an aligned n-byte (4 or 8) atomic access and returns
+// the containing word index and bit shift.
+func (v View) atomicWord(addr uint64, n int) (w uint64, shift uint64, f *Fault) {
+	if n != 4 && n != 8 {
+		return 0, 0, &Fault{Addr: addr, Kind: FaultUnaligned}
+	}
+	if addr%uint64(n) != 0 {
+		return 0, 0, &Fault{Addr: addr, Kind: FaultUnaligned}
+	}
+	off, fault := v.h.offsetOf(addr, n, v.base)
+	if fault != nil {
+		return 0, 0, fault
+	}
+	return off / 8, (off % 8) * 8, nil
+}
+
+// AtomicLoad performs an acquire load of an aligned 4- or 8-byte value.
+func (v View) AtomicLoad(addr uint64, n int) (uint64, error) {
+	w, shift, f := v.atomicWord(addr, n)
+	if f != nil {
+		return 0, f
+	}
+	val := atomic.LoadUint64(&v.h.words[w]) >> shift
+	if n == 4 {
+		val &= 0xffffffff
+	}
+	return val, nil
+}
+
+// AtomicStore performs a release store of an aligned 4- or 8-byte value.
+func (v View) AtomicStore(addr uint64, n int, val uint64) error {
+	w, shift, f := v.atomicWord(addr, n)
+	if f != nil {
+		return f
+	}
+	if n == 8 {
+		atomic.StoreUint64(&v.h.words[w], val)
+		return nil
+	}
+	mask := uint64(0xffffffff) << shift
+	for {
+		old := atomic.LoadUint64(&v.h.words[w])
+		nw := old&^mask | (val&0xffffffff)<<shift
+		if atomic.CompareAndSwapUint64(&v.h.words[w], old, nw) {
+			return nil
+		}
+	}
+}
+
+// AtomicRMWOp selects the modify function of an atomic read-modify-write.
+type AtomicRMWOp int
+
+// Atomic read-modify-write operations, mirroring the eBPF atomic set.
+const (
+	RMWAdd AtomicRMWOp = iota
+	RMWOr
+	RMWAnd
+	RMWXor
+	RMWXchg
+)
+
+func (op AtomicRMWOp) apply(old, operand uint64) uint64 {
+	switch op {
+	case RMWAdd:
+		return old + operand
+	case RMWOr:
+		return old | operand
+	case RMWAnd:
+		return old & operand
+	case RMWXor:
+		return old ^ operand
+	case RMWXchg:
+		return operand
+	}
+	panic("heap: unknown RMW op")
+}
+
+// AtomicRMW applies op at addr and returns the previous value.
+func (v View) AtomicRMW(addr uint64, n int, op AtomicRMWOp, operand uint64) (uint64, error) {
+	w, shift, f := v.atomicWord(addr, n)
+	if f != nil {
+		return 0, f
+	}
+	var mask uint64 = ^uint64(0)
+	if n == 4 {
+		mask = 0xffffffff
+		operand &= mask
+	}
+	for {
+		old := atomic.LoadUint64(&v.h.words[w])
+		field := (old >> shift) & mask
+		nw := old&^(mask<<shift) | (op.apply(field, operand)&mask)<<shift
+		if atomic.CompareAndSwapUint64(&v.h.words[w], old, nw) {
+			return field, nil
+		}
+	}
+}
+
+// AtomicCAS compares-and-swaps the value at addr; it returns the value
+// observed before the operation (the eBPF BPF_CMPXCHG contract).
+func (v View) AtomicCAS(addr uint64, n int, expect, desired uint64) (uint64, error) {
+	w, shift, f := v.atomicWord(addr, n)
+	if f != nil {
+		return 0, f
+	}
+	var mask uint64 = ^uint64(0)
+	if n == 4 {
+		mask = 0xffffffff
+		expect &= mask
+		desired &= mask
+	}
+	for {
+		old := atomic.LoadUint64(&v.h.words[w])
+		field := (old >> shift) & mask
+		if field != expect {
+			return field, nil
+		}
+		nw := old&^(mask<<shift) | (desired&mask)<<shift
+		if atomic.CompareAndSwapUint64(&v.h.words[w], old, nw) {
+			return field, nil
+		}
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice. It is a
+// convenience for Go-side code (allocator, tests, user applications).
+func (v View) ReadBytes(addr uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b, err := v.Load(addr+uint64(i), 1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(b)
+	}
+	return out, nil
+}
+
+// WriteBytes copies p into the heap starting at addr.
+func (v View) WriteBytes(addr uint64, p []byte) error {
+	for i, b := range p {
+		if err := v.Store(addr+uint64(i), 1, uint64(b)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

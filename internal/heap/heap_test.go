@@ -1,0 +1,432 @@
+package heap
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newHeap(t *testing.T, size uint64) *Heap {
+	t.Helper()
+	h, err := NewInArena(size, NewKernelArena(), NewUserArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []uint64{0, 3, PageSize - 1, PageSize * 3, MaxSize * 2} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("size %#x accepted", bad)
+		}
+	}
+	h, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Size() != 1<<20 || h.Mask() != 1<<20-1 {
+		t.Errorf("size/mask wrong: %#x/%#x", h.Size(), h.Mask())
+	}
+	if h.ExtBase()%h.Size() != 0 {
+		t.Errorf("ext base %#x not size-aligned", h.ExtBase())
+	}
+	if h.UserBase()%h.Size() != 0 {
+		t.Errorf("user base %#x not size-aligned", h.UserBase())
+	}
+}
+
+func TestArenaAlignmentAndGuards(t *testing.T) {
+	a := NewArena(0x1000_0000, 1<<40)
+	b1, err := a.Reserve(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.Reserve(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1%(1<<30) != 0 || b2%(1<<30) != 0 {
+		t.Errorf("bases not aligned: %#x %#x", b1, b2)
+	}
+	// Guard zones force the second heap past the adjacent aligned chunk
+	// (§4.1 fragmentation).
+	if b2 < b1+(1<<30)+GuardZone {
+		t.Errorf("no guard gap between %#x and %#x", b1, b2)
+	}
+	if a.Wasted() == 0 {
+		t.Error("expected alignment waste with guard zones")
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	a := NewArena(0, 1<<22)
+	if _, err := a.Reserve(1 << 20); err != nil {
+		t.Fatalf("first reserve failed: %v", err)
+	}
+	if _, err := a.Reserve(1 << 20); err == nil {
+		t.Fatal("second reserve should exhaust arena")
+	}
+	if _, err := a.Reserve(12345); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+}
+
+func TestSanitizeInBounds(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	for _, addr := range []uint64{0, 12, h.ExtBase() + 5, h.ExtBase() + h.Size() + 99, ^uint64(0)} {
+		s := h.Sanitize(addr)
+		if s < h.ExtBase() || s >= h.ExtBase()+h.Size() {
+			t.Errorf("Sanitize(%#x) = %#x outside heap", addr, s)
+		}
+	}
+	// Sanitizing an already-valid heap address must not change it (§3.2).
+	in := h.ExtBase() + 260
+	if got := h.Sanitize(in); got != in {
+		t.Errorf("Sanitize(valid) = %#x, want %#x", got, in)
+	}
+}
+
+func TestPaperSanitizeExample(t *testing.T) {
+	// The paper's worked example: a 256-byte heap at base 256 and an
+	// unsafe pointer at 524 sanitizes to 268 (§3.2). Our heap sizes are
+	// page-granular, so reproduce the arithmetic directly.
+	const size, base, ptr = 256, 256, 524
+	masked := ptr & (size - 1)
+	if masked != 12 {
+		t.Fatalf("masked = %d, want 12", masked)
+	}
+	if got := masked + base; got != 268 {
+		t.Fatalf("sanitized = %d, want 268", got)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if err := h.Populate(0, h.Size()); err != nil {
+		t.Fatal(err)
+	}
+	v := h.ExtView()
+	for _, n := range []int{1, 2, 4, 8} {
+		addr := h.ExtBase() + 100 + uint64(n)*16
+		want := uint64(0x1122334455667788)
+		if n < 8 {
+			want &= 1<<(n*8) - 1
+		}
+		if err := v.Store(addr, n, 0x1122334455667788); err != nil {
+			t.Fatalf("store n=%d: %v", n, err)
+		}
+		got, err := v.Load(addr, n)
+		if err != nil {
+			t.Fatalf("load n=%d: %v", n, err)
+		}
+		if got != want {
+			t.Errorf("n=%d: got %#x want %#x", n, got, want)
+		}
+	}
+}
+
+func TestStraddlingWordAccess(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if err := h.Populate(0, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	v := h.ExtView()
+	// 8-byte store at offset 5 straddles two words.
+	addr := h.ExtBase() + 5
+	if err := v.Store(addr, 8, 0xa1b2c3d4e5f60718); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Load(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xa1b2c3d4e5f60718 {
+		t.Fatalf("straddling load = %#x", got)
+	}
+	// Byte-wise readback agrees (little-endian).
+	b, err := v.ReadBytes(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x18 || b[7] != 0xa1 {
+		t.Fatalf("bytes = %x", b)
+	}
+}
+
+func TestFaultKinds(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	v := h.ExtView()
+	// Unmapped page.
+	_, err := v.Load(h.ExtBase(), 8)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultUnmapped {
+		t.Fatalf("err = %v, want unmapped fault", err)
+	}
+	// Guard zone (just past the end).
+	if err := h.Populate(0, h.Size()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = v.Load(h.ExtBase()+h.Size(), 1)
+	if !errors.As(err, &f) || f.Kind != FaultOOB {
+		t.Fatalf("err = %v, want OOB fault", err)
+	}
+	// Access straddling the end.
+	_, err = v.Load(h.ExtBase()+h.Size()-4, 8)
+	if !errors.As(err, &f) || f.Kind != FaultOOB {
+		t.Fatalf("err = %v, want OOB fault for straddle", err)
+	}
+	// Closed heap.
+	h.Close()
+	_, err = v.Load(h.ExtBase(), 8)
+	if !errors.As(err, &f) || f.Kind != FaultClosed {
+		t.Fatalf("err = %v, want closed fault", err)
+	}
+	if !h.Closed() {
+		t.Error("Closed() = false")
+	}
+}
+
+func TestDemandPaging(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if h.PopulatedPages() != 0 {
+		t.Fatal("new heap has populated pages")
+	}
+	if err := h.Populate(PageSize+10, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !h.PageMapped(PageSize) || h.PageMapped(0) || h.PageMapped(2*PageSize) {
+		t.Error("wrong pages mapped")
+	}
+	if h.PopulatedPages() != 1 {
+		t.Errorf("populated = %d, want 1", h.PopulatedPages())
+	}
+	// Spanning populate maps both pages; re-populating is idempotent.
+	if err := h.Populate(PageSize-4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if h.PopulatedPages() != 2 {
+		t.Errorf("populated = %d, want 2", h.PopulatedPages())
+	}
+	if err := h.Populate(h.Size(), 1); err == nil {
+		t.Error("populate past end accepted")
+	}
+	// Access spanning into an unmapped page faults.
+	if err := h.Populate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	v := h.ExtView()
+	if err := v.Store(h.ExtBase()+PageSize-2, 4, 1); err != nil {
+		t.Fatal("store should succeed, both pages mapped:", err)
+	}
+	_, err := v.Load(h.ExtBase()+2*PageSize-2, 4)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultUnmapped {
+		t.Fatalf("cross-page load into unmapped = %v", err)
+	}
+}
+
+func TestUserViewSharing(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if err := h.Populate(0, h.Size()); err != nil {
+		t.Fatal(err)
+	}
+	ext, user := h.ExtView(), h.UserView()
+	extAddr := h.ExtBase() + 512
+	if err := ext.Store(extAddr, 8, 0xfeed); err != nil {
+		t.Fatal(err)
+	}
+	userAddr := h.TranslateToUser(extAddr)
+	if !user.Contains(userAddr) || user.Contains(extAddr) {
+		t.Error("Contains wrong across views")
+	}
+	got, err := user.Load(userAddr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xfeed {
+		t.Fatalf("user view sees %#x", got)
+	}
+	if back := h.TranslateToExt(userAddr); back != extAddr {
+		t.Fatalf("round-trip translation: %#x != %#x", back, extAddr)
+	}
+}
+
+func TestAtomicOps(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if err := h.Populate(0, h.Size()); err != nil {
+		t.Fatal(err)
+	}
+	v := h.ExtView()
+	addr := h.ExtBase() + 64
+	if err := v.AtomicStore(addr, 8, 10); err != nil {
+		t.Fatal(err)
+	}
+	old, err := v.AtomicRMW(addr, 8, RMWAdd, 5)
+	if err != nil || old != 10 {
+		t.Fatalf("RMWAdd old = %d, err = %v", old, err)
+	}
+	got, _ := v.AtomicLoad(addr, 8)
+	if got != 15 {
+		t.Fatalf("after add: %d", got)
+	}
+	old, err = v.AtomicCAS(addr, 8, 15, 99)
+	if err != nil || old != 15 {
+		t.Fatalf("CAS old = %d, err = %v", old, err)
+	}
+	old, err = v.AtomicCAS(addr, 8, 15, 1)
+	if err != nil || old != 99 {
+		t.Fatalf("failed CAS should return current: %d, %v", old, err)
+	}
+	// 32-bit field ops respect the containing word's other half.
+	if err := v.AtomicStore(addr, 8, 0xaaaaaaaa_bbbbbbbb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.AtomicRMW(addr, 4, RMWXor, 0xbbbbbbbb); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = v.AtomicLoad(addr, 8)
+	if got != 0xaaaaaaaa_00000000 {
+		t.Fatalf("32-bit RMW corrupted word: %#x", got)
+	}
+	// Misalignment faults.
+	var f *Fault
+	if _, err := v.AtomicLoad(addr+1, 8); !errors.As(err, &f) || f.Kind != FaultUnaligned {
+		t.Fatalf("unaligned atomic: %v", err)
+	}
+	if _, err := v.AtomicRMW(addr, 2, RMWAdd, 1); !errors.As(err, &f) || f.Kind != FaultUnaligned {
+		t.Fatalf("2-byte atomic: %v", err)
+	}
+}
+
+func TestAtomicRMWOps(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if err := h.Populate(0, h.Size()); err != nil {
+		t.Fatal(err)
+	}
+	v := h.ExtView()
+	addr := h.ExtBase() + 128
+	cases := []struct {
+		op      AtomicRMWOp
+		initial uint64
+		operand uint64
+		want    uint64
+	}{
+		{RMWAdd, 7, 3, 10},
+		{RMWOr, 0b1010, 0b0101, 0b1111},
+		{RMWAnd, 0b1110, 0b0111, 0b0110},
+		{RMWXor, 0xff, 0x0f, 0xf0},
+		{RMWXchg, 42, 7, 7},
+	}
+	for _, c := range cases {
+		if err := v.AtomicStore(addr, 8, c.initial); err != nil {
+			t.Fatal(err)
+		}
+		old, err := v.AtomicRMW(addr, 8, c.op, c.operand)
+		if err != nil || old != c.initial {
+			t.Errorf("op %d: old = %d, err = %v", c.op, old, err)
+		}
+		got, _ := v.AtomicLoad(addr, 8)
+		if got != c.want {
+			t.Errorf("op %d: got %#x want %#x", c.op, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentAtomicAdds(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if err := h.Populate(0, h.Size()); err != nil {
+		t.Fatal(err)
+	}
+	addr := h.ExtBase() + 256
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		view := h.ExtView()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				if _, err := view.AtomicRMW(addr, 8, RMWAdd, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, _ := h.ExtView().AtomicLoad(addr, 8)
+	if got != workers*iters {
+		t.Fatalf("atomic adds lost updates: %d", got)
+	}
+}
+
+func TestSanitizeQuick(t *testing.T) {
+	h := newHeap(t, 1<<20)
+	f := func(addr uint64) bool {
+		s := h.Sanitize(addr)
+		if s < h.ExtBase() || s >= h.ExtBase()+h.Size() {
+			return false
+		}
+		// Idempotence.
+		return h.Sanitize(s) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadStoreQuick(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if err := h.Populate(0, h.Size()); err != nil {
+		t.Fatal(err)
+	}
+	v := h.ExtView()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := []int{1, 2, 4, 8}[r.Intn(4)]
+		off := r.Uint64() % (h.Size() - 8)
+		val := r.Uint64()
+		addr := h.ExtBase() + off
+		if v.Store(addr, n, val) != nil {
+			return false
+		}
+		got, err := v.Load(addr, n)
+		if err != nil {
+			return false
+		}
+		want := val
+		if n < 8 {
+			want &= 1<<(n*8) - 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadBytes(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if err := h.Populate(0, h.Size()); err != nil {
+		t.Fatal(err)
+	}
+	v := h.UserView()
+	data := []byte("the quick brown fox")
+	addr := h.UserBase() + 1000
+	if err := v.WriteBytes(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadBytes(addr, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("got %q", got)
+	}
+	if err := v.WriteBytes(h.UserBase()+h.Size()-2, data); err == nil {
+		t.Error("write past end accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for _, v := range []int64{10, 20, 30, 40, 50} {
+		h.Record(v)
+	}
+	if h.Count() != 5 || h.Min() != 10 || h.Max() != 50 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Mean() != 30 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+	if q := h.Quantile(0); q != 10 {
+		t.Fatalf("p0 = %d", q)
+	}
+	if q := h.Quantile(1); q != 50 {
+		t.Fatalf("p100 = %d", q)
+	}
+}
+
+// Quantiles must track exact order statistics within the bucket resolution
+// (~1.6% relative error at 6 sub-bucket bits).
+func TestQuantileAccuracyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := New()
+		n := 1000 + r.Intn(2000)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(10_000_000))
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			exact := vals[int(q*float64(n))]
+			got := h.Quantile(q)
+			if exact == 0 {
+				continue
+			}
+			rel := float64(got-exact) / float64(exact)
+			if rel < -0.05 || rel > 0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for i := int64(0); i < 100; i++ {
+		a.Record(i)
+		b.Record(i + 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 || a.Min() != 0 || a.Max() != 1099 {
+		t.Fatalf("merged: %s", a)
+	}
+	if a.Quantile(0.25) > 100 || a.Quantile(0.75) < 900 {
+		t.Fatalf("merged quantiles wrong: %s", a)
+	}
+}
+
+func TestResetAndNegative(t *testing.T) {
+	h := New()
+	h.Record(-5) // clamped to 0
+	if h.Min() != 0 {
+		t.Fatalf("min = %d", h.Min())
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBucketMonotonicQuick(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a%(1<<30)), int64(b%(1<<30))
+		if x > y {
+			x, y = y, x
+		}
+		return bucketOf(x) <= bucketOf(y) && bucketLow(bucketOf(x)) <= x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

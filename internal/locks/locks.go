@@ -1,0 +1,211 @@
+// Package locks implements KFlex's queue-based spin locks (§3.1 of the
+// paper) and the time-slice extension protocol that makes sharing them with
+// user space safe (§3.4, §4.4).
+//
+// The lock is a ticket lock living in extension-heap memory: a strict-FIFO
+// queue discipline like the paper's MCS lock (the MCS per-waiter queue-node
+// locality optimization is immaterial under simulation). The lock word is
+// one 8-byte heap word — next-ticket in the high half, owner in the low
+// half — so the extension and user-space mappings of the heap synchronize
+// through the same memory, exactly as the paper's shared heaps do.
+package locks
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kflex/internal/heap"
+)
+
+// LockSize is the bytes a lock occupies in the heap (8-byte aligned).
+const LockSize = 8
+
+// Locks provides spin-lock operations over one heap mapping. It implements
+// kernel.Locker when constructed over the extension view.
+type Locks struct {
+	view heap.View
+}
+
+// New returns lock operations over the given heap view (extension or user).
+func New(view heap.View) *Locks { return &Locks{view: view} }
+
+// cancelPollInterval bounds how many spins pass between cancellation polls.
+const cancelPollInterval = 64
+
+// Lock acquires the ticket lock at addr (a VA in this view). It returns
+// false when cancelled() became true while spinning — the §3.4 path where
+// an extension waiting on a lock held by a preempted user thread stalls and
+// is cancelled.
+func (l *Locks) Lock(addr uint64, cancelled func() bool) bool {
+	// my ticket = fetch-add on the high 32 bits.
+	old, err := l.view.AtomicRMW(addr+4, 4, heap.RMWAdd, 1)
+	if err != nil {
+		return false
+	}
+	my := uint32(old)
+	spins := 0
+	for {
+		cur, err := l.view.AtomicLoad(addr, 4)
+		if err != nil {
+			return false
+		}
+		if uint32(cur) == my {
+			return true
+		}
+		spins++
+		if spins%cancelPollInterval == 0 {
+			if cancelled != nil && cancelled() {
+				// Abandon the ticket: bump owner past us when our
+				// turn comes is not possible without holding it, so
+				// mark abandonment by waiting for our turn and
+				// releasing immediately is also spinning. Instead,
+				// the FIFO hole is repaired by the unlock path of
+				// the previous holder advancing owner past
+				// abandoned tickets recorded here.
+				l.abandon(addr, my)
+				return false
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// abandoned tickets per lock word VA; the unlock path skips them. This is
+// runtime-side bookkeeping (the real runtime repairs its queue likewise
+// when cancelling a waiter).
+var abandoned atomicMap
+
+// abandon records that ticket my at lock addr will never be claimed.
+func (l *Locks) abandon(addr uint64, my uint32) {
+	abandoned.add(lockKey(l.view, addr), my)
+}
+
+// Unlock releases the lock at addr.
+func (l *Locks) Unlock(addr uint64) error {
+	next, err := l.view.AtomicLoad(addr+4, 4)
+	if err != nil {
+		return err
+	}
+	cur, err := l.view.AtomicLoad(addr, 4)
+	if err != nil {
+		return err
+	}
+	if uint32(cur) == uint32(next) {
+		return fmt.Errorf("locks: unlock of lock %#x that is not held", addr)
+	}
+	// Advance owner, skipping abandoned tickets.
+	owner := uint32(cur) + 1
+	key := lockKey(l.view, addr)
+	for abandoned.remove(key, owner) {
+		owner++
+	}
+	return l.view.AtomicStore(addr, 4, uint64(owner))
+}
+
+// Held reports whether the lock at addr is currently held.
+func (l *Locks) Held(addr uint64) bool {
+	next, err1 := l.view.AtomicLoad(addr+4, 4)
+	cur, err2 := l.view.AtomicLoad(addr, 4)
+	return err1 == nil && err2 == nil && uint32(cur) != uint32(next)
+}
+
+// lockKey identifies a lock by its heap offset so the extension and user
+// views of the same lock share abandonment state.
+func lockKey(v heap.View, addr uint64) uint64 {
+	return (addr - v.Base()) & v.Heap().Mask()
+}
+
+// atomicMap is a small synchronized multiset keyed by lock offset.
+type atomicMap struct {
+	mu sync.Mutex
+	m  map[uint64]map[uint32]bool
+}
+
+func (a *atomicMap) add(key uint64, ticket uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.m == nil {
+		a.m = make(map[uint64]map[uint32]bool)
+	}
+	set := a.m[key]
+	if set == nil {
+		set = make(map[uint32]bool)
+		a.m[key] = set
+	}
+	set[ticket] = true
+}
+
+func (a *atomicMap) remove(key uint64, ticket uint32) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := a.m[key]
+	if set == nil || !set[ticket] {
+		return false
+	}
+	delete(set, ticket)
+	return true
+}
+
+// --- Time-slice extension (§3.4, §4.4) ---------------------------------------
+
+// DefaultGrace is the paper's 50 µs time-slice extension.
+const DefaultGrace = 50 * time.Microsecond
+
+// RSeq models the rseq-region critical-section counter (§4.4): user-space
+// lock acquire/release increment and decrement it, correctly accounting for
+// nested locks.
+type RSeq struct {
+	cs        atomic.Int32
+	preempted atomic.Bool
+	// extensions granted and expired, for experiments.
+	Granted atomic.Uint64
+	Expired atomic.Uint64
+}
+
+// Enter marks entry into a critical section (lock acquired).
+func (r *RSeq) Enter() { r.cs.Add(1) }
+
+// Leave marks exit from a critical section (lock released).
+func (r *RSeq) Leave() {
+	if r.cs.Add(-1) < 0 {
+		panic("locks: rseq critical-section counter underflow")
+	}
+}
+
+// InCS reports whether the thread is inside a critical section.
+func (r *RSeq) InCS() bool { return r.cs.Load() > 0 }
+
+// Preempted reports whether the scheduler forcibly preempted the thread
+// after its grace expired.
+func (r *RSeq) Preempted() bool { return r.preempted.Load() }
+
+// RequestPreempt simulates the scheduler wanting to preempt the thread: if
+// it is inside a critical section it receives up to grace extra time; if the
+// section has not completed by then, the thread is forcibly preempted
+// (§4.4) and true is returned. poll is invoked while waiting (nil = sleep).
+func (r *RSeq) RequestPreempt(grace time.Duration, poll func()) (forced bool) {
+	if !r.InCS() {
+		return false
+	}
+	r.Granted.Add(1)
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		if !r.InCS() {
+			return false // cooperative: finished within the extension
+		}
+		if poll != nil {
+			poll()
+		} else {
+			time.Sleep(grace / 16)
+		}
+	}
+	if r.InCS() {
+		r.Expired.Add(1)
+		r.preempted.Store(true)
+		return true
+	}
+	return false
+}

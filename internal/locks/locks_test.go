@@ -1,0 +1,193 @@
+package locks
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"kflex/internal/heap"
+)
+
+func lockFixture(t *testing.T) (*Locks, *Locks, uint64, heap.View) {
+	t.Helper()
+	h, err := heap.NewInArena(1<<16, heap.NewKernelArena(), heap.NewUserArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Populate(0, h.Size()); err != nil {
+		t.Fatal(err)
+	}
+	ext := New(h.ExtView())
+	user := New(h.UserView())
+	return ext, user, 64, h.ExtView() // lock at heap offset 64
+}
+
+func TestLockUnlock(t *testing.T) {
+	ext, _, off, v := lockFixture(t)
+	addr := v.Base() + off
+	if !ext.Lock(addr, nil) {
+		t.Fatal("lock failed")
+	}
+	if !ext.Held(addr) {
+		t.Fatal("Held = false while locked")
+	}
+	if err := ext.Unlock(addr); err != nil {
+		t.Fatal(err)
+	}
+	if ext.Held(addr) {
+		t.Fatal("Held = true after unlock")
+	}
+	if err := ext.Unlock(addr); err == nil {
+		t.Fatal("unlock of free lock accepted")
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	ext, _, off, v := lockFixture(t)
+	addr := v.Base() + off
+	var counter int
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if !ext.Lock(addr, nil) {
+					t.Error("lock failed")
+					return
+				}
+				counter++
+				if err := ext.Unlock(addr); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*400 {
+		t.Fatalf("counter = %d, want %d (lost updates)", counter, 8*400)
+	}
+}
+
+// TestCrossMappingLock is §3.4's core property: the extension view and the
+// user view synchronize through the same lock word.
+func TestCrossMappingLock(t *testing.T) {
+	ext, user, off, v := lockFixture(t)
+	extAddr := v.Base() + off
+	userAddr := v.Heap().UserBase() + off
+	if !ext.Lock(extAddr, nil) {
+		t.Fatal("ext lock failed")
+	}
+	if !user.Held(userAddr) {
+		t.Fatal("user view does not see the held lock")
+	}
+	acquired := make(chan bool)
+	go func() {
+		acquired <- user.Lock(userAddr, nil)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("user acquired a held lock")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := ext.Unlock(extAddr); err != nil {
+		t.Fatal(err)
+	}
+	if !<-acquired {
+		t.Fatal("user lock failed after release")
+	}
+	if err := user.Unlock(userAddr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelledWaiterAbandons is the §3.4 stall path: a waiter whose
+// extension is cancelled abandons the queue, and the FIFO repairs itself.
+func TestCancelledWaiterAbandons(t *testing.T) {
+	ext, _, off, v := lockFixture(t)
+	addr := v.Base() + off
+	if !ext.Lock(addr, nil) {
+		t.Fatal("initial lock failed")
+	}
+	cancelled := make(chan struct{})
+	result := make(chan bool)
+	go func() {
+		result <- ext.Lock(addr, func() bool {
+			select {
+			case <-cancelled:
+				return true
+			default:
+				return false
+			}
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(cancelled)
+	if got := <-result; got {
+		t.Fatal("cancelled waiter acquired the lock")
+	}
+	// The abandoned ticket must not wedge the queue: release and
+	// re-acquire.
+	if err := ext.Unlock(addr); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	go func() { done <- ext.Lock(addr, nil) }()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("re-acquisition failed")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queue wedged by abandoned ticket")
+	}
+	if err := ext.Unlock(addr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSeqTimeSlice(t *testing.T) {
+	var r RSeq
+	// Not in a critical section: no grace needed.
+	if r.RequestPreempt(time.Millisecond, nil) {
+		t.Fatal("preempted an idle thread")
+	}
+	// Cooperative: leaves the critical section within the grace.
+	r.Enter()
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		r.Leave()
+	}()
+	if r.RequestPreempt(200*time.Millisecond, nil) {
+		t.Fatal("cooperative thread was force-preempted")
+	}
+	if r.Granted.Load() != 1 || r.Expired.Load() != 0 {
+		t.Fatalf("counters: granted=%d expired=%d", r.Granted.Load(), r.Expired.Load())
+	}
+	// Nested sections are counted (§4.4).
+	r.Enter()
+	r.Enter()
+	r.Leave()
+	if !r.InCS() {
+		t.Fatal("nested CS lost")
+	}
+	// Non-cooperative: grace expires, forced preemption.
+	if !r.RequestPreempt(2*time.Millisecond, nil) {
+		t.Fatal("non-cooperative thread not preempted")
+	}
+	if !r.Preempted() || r.Expired.Load() != 1 {
+		t.Fatal("preemption not recorded")
+	}
+	r.Leave()
+}
+
+func TestRSeqUnderflowPanics(t *testing.T) {
+	var r RSeq
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow did not panic")
+		}
+	}()
+	r.Leave()
+}

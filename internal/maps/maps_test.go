@@ -1,0 +1,117 @@
+package maps
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func key32(i uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, i)
+	return b
+}
+
+func TestArrayBasics(t *testing.T) {
+	a, err := NewArray(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.KeySize() != 4 || a.ValueSize() != 16 || a.Len() != 8 {
+		t.Fatal("geometry wrong")
+	}
+	val := make([]byte, 16)
+	val[0] = 7
+	if err := a.Update(key32(3), val); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Lookup(key32(3))
+	if got == nil || got[0] != 7 {
+		t.Fatalf("lookup = %v", got)
+	}
+	// Lookup returns a copy: mutating it must not affect the map.
+	got[0] = 99
+	if a.Lookup(key32(3))[0] != 7 {
+		t.Fatal("lookup returned live storage")
+	}
+	if a.Lookup(key32(100)) != nil {
+		t.Fatal("out-of-range lookup succeeded")
+	}
+	if err := a.Update(key32(100), val); err == nil {
+		t.Fatal("out-of-range update accepted")
+	}
+	if err := a.Update(key32(1), []byte{1}); err == nil {
+		t.Fatal("short value accepted")
+	}
+	// Array delete zeroes (entries cannot be removed, as in eBPF).
+	if !a.Delete(key32(3)) {
+		t.Fatal("delete failed")
+	}
+	if a.Lookup(key32(3))[0] != 0 {
+		t.Fatal("delete did not zero")
+	}
+	if _, err := NewArray(0, 4); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}
+
+func TestHashBasics(t *testing.T) {
+	h, err := NewHash(2, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := h.Update(key32(1), v); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Update(key32(2), v); err != nil {
+		t.Fatal(err)
+	}
+	// Full map rejects new keys but accepts overwrites.
+	if err := h.Update(key32(3), v); err == nil {
+		t.Fatal("over-capacity insert accepted")
+	}
+	if err := h.Update(key32(1), v); err != nil {
+		t.Fatal("overwrite rejected:", err)
+	}
+	if h.Lookup(key32(1)) == nil || h.Lookup(key32(9)) != nil {
+		t.Fatal("lookup wrong")
+	}
+	if !h.Delete(key32(1)) || h.Delete(key32(1)) {
+		t.Fatal("delete semantics wrong")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l, err := NewLRU(3, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]byte, 8)
+	for i := uint32(1); i <= 3; i++ {
+		if err := l.Update(key32(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 1 so key 2 is the LRU, then insert key 4.
+	if l.Lookup(key32(1)) == nil {
+		t.Fatal("lookup failed")
+	}
+	if err := l.Update(key32(4), v); err != nil {
+		t.Fatal(err)
+	}
+	if l.Lookup(key32(2)) != nil {
+		t.Fatal("LRU entry not evicted")
+	}
+	if l.Lookup(key32(1)) == nil || l.Lookup(key32(3)) == nil || l.Lookup(key32(4)) == nil {
+		t.Fatal("wrong entry evicted")
+	}
+	if l.Evictions() != 1 || l.Len() != 3 {
+		t.Fatalf("evictions=%d len=%d", l.Evictions(), l.Len())
+	}
+	if !l.Delete(key32(4)) || l.Delete(key32(4)) {
+		t.Fatal("delete semantics wrong")
+	}
+}

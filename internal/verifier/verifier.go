@@ -1,0 +1,1209 @@
+package verifier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"kflex/insn"
+	"kflex/internal/cfg"
+	"kflex/internal/heap"
+	"kflex/internal/kernel"
+	"kflex/internal/tnum"
+)
+
+// Mode selects the verification ruleset.
+type Mode int
+
+const (
+	// ModeEBPF is vanilla eBPF: no extension heap, loops must provably
+	// terminate, at most one lock, KFlex helpers unavailable (§2.2).
+	ModeEBPF Mode = iota
+	// ModeKFlex splits safety: kernel-interface compliance is still
+	// verified statically, while extension-heap accesses and unbounded
+	// loops are admitted and flagged for runtime instrumentation (§3).
+	ModeKFlex
+)
+
+// Config parameterizes verification.
+type Config struct {
+	Mode   Mode
+	Hook   *kernel.Hook
+	Kernel *kernel.Kernel
+	// HeapSize is the declared extension heap size (0 = none).
+	HeapSize uint64
+	// ShareHeap requests translate-on-store facts for user-space sharing
+	// (§3.4).
+	ShareHeap bool
+	// InsnBudget caps symbolic execution work (the kernel's 1M insn
+	// analogue). Zero selects the default.
+	InsnBudget int
+	// ScalarR1 makes R1 an unknown scalar instead of the hook context
+	// (used for cancellation callbacks, §4.3).
+	ScalarR1 bool
+	// PerfMode analyzes for a program whose read guards will be skipped
+	// at runtime (§3.2): read sanitization then cannot be relied upon, so
+	// a read guard does not mark the base register sanitized. This keeps
+	// write elision sound (writes are always sanitized).
+	PerfMode bool
+}
+
+// DefaultInsnBudget caps states processed during symbolic execution.
+const DefaultInsnBudget = 400_000
+
+// widenThreshold is how many joins a loop head absorbs before widening.
+const widenThreshold = 3
+
+// Error is a verification failure annotated with the offending instruction.
+type Error struct {
+	Insn int
+	Msg  string
+	// Err optionally carries a sentinel (ErrUnboundedLoop, ErrTooComplex)
+	// for errors.Is classification.
+	Err error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("verifier: insn %d: %s", e.Insn, e.Msg)
+}
+
+// Unwrap exposes the sentinel classification.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Sentinel classification errors (wrapped inside *Error messages where the
+// engine needs to distinguish them).
+var (
+	// ErrUnboundedLoop marks DFS detecting a loop whose termination it
+	// cannot prove — fatal in eBPF mode, instrumentation trigger in
+	// KFlex mode.
+	ErrUnboundedLoop = errors.New("unbounded loop")
+	// ErrTooComplex marks exhaustion of the instruction budget.
+	ErrTooComplex = errors.New("program too complex")
+)
+
+// AccessFact summarizes what the verifier learned about one instruction,
+// for consumption by the Kie instrumentation engine.
+type AccessFact struct {
+	// HeapAccess marks loads/stores/atomics that touch the extension
+	// heap (class-2 cancellation points, §3.3).
+	HeapAccess bool
+	// Read distinguishes loads from stores/atomics.
+	Read bool
+	// Guard is set when SFI sanitization is required; unset on heap
+	// accesses proven in-bounds by range analysis (elision, §3.2).
+	Guard bool
+	// Formation is set when the guard materializes a heap pointer from a
+	// raw scalar; such guards are mandatory and excluded from elision
+	// statistics (Table 3).
+	Formation bool
+	// StoresHeapPtr marks stores whose value operand is a heap pointer
+	// (translate-on-store sites, §3.4).
+	StoresHeapPtr bool
+	// Manip marks accesses through a manipulated heap pointer: the
+	// population whose guards range analysis tries to elide (Table 3).
+	Manip bool
+}
+
+// ObjLocation describes where a held kernel object's pointer lives at a
+// cancellation point.
+type ObjLocation struct {
+	InReg    bool
+	Reg      insn.Reg
+	StackOff int16
+}
+
+func (l ObjLocation) String() string {
+	if l.InReg {
+		return l.Reg.String()
+	}
+	return fmt.Sprintf("fp%+d", l.StackOff)
+}
+
+// ObjTableEntry is one row of a cancellation point's object table (§3.3):
+// a kernel resource the runtime must release if the extension is terminated
+// at that point, with its destructor.
+type ObjTableEntry struct {
+	Site       int
+	Kind       kernel.ObjKind
+	Destructor string
+	Locs       []ObjLocation
+	// Conflict marks the §4.3 corner case: different paths leave the
+	// resource in different locations, so Kie must spill it to a unique
+	// stack slot at acquisition.
+	Conflict bool
+}
+
+// Analysis is the verifier's output.
+type Analysis struct {
+	Prog  []insn.Instruction
+	Graph *cfg.Graph
+	Facts []AccessFact
+	// UnboundedEdges are retreating CFG edges whose loops could not be
+	// proven terminating: Kie plants a *terminate probe (C1) before each
+	// tail (§3.3).
+	UnboundedEdges []cfg.BackEdge
+	// ObjTables maps a cancellation-point instruction index (heap access
+	// or unbounded back-edge tail) to the resources held there.
+	ObjTables map[int][]ObjTableEntry
+	// LoopsBounded reports whether every loop was proven terminating
+	// (DFS converged).
+	LoopsBounded bool
+	// StatesExplored counts symbolic execution work.
+	StatesExplored int
+	// Config echoes the verification parameters.
+	Config Config
+}
+
+// verifier carries the mutable analysis context.
+type verifier struct {
+	cfg    Config
+	prog   []insn.Instruction
+	g      *cfg.Graph
+	facts  []AccessFact
+	tables map[int]map[int]*ObjTableEntry // cp insn -> site -> entry
+	cps    map[int]bool
+	rpoIdx []int
+	budget int
+	steps  int
+	// unboundedMode is true in the fixpoint fallback: every retreating
+	// edge is treated as a C1 cancellation point.
+	unboundedMode bool
+}
+
+// Verify analyzes prog under cfg and returns the instrumentation facts.
+func Verify(prog []insn.Instruction, vc Config) (*Analysis, error) {
+	if vc.Kernel == nil {
+		return nil, fmt.Errorf("verifier: Config.Kernel is required")
+	}
+	if vc.Hook == nil && !vc.ScalarR1 {
+		return nil, fmt.Errorf("verifier: Config.Hook is required")
+	}
+	if vc.Mode == ModeEBPF && vc.HeapSize != 0 {
+		return nil, fmt.Errorf("verifier: extension heaps require KFlex mode")
+	}
+	if vc.HeapSize != 0 && (vc.HeapSize&(vc.HeapSize-1)) != 0 {
+		return nil, fmt.Errorf("verifier: heap size %#x not a power of two", vc.HeapSize)
+	}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	if idx, dead := g.HasUnreachable(); dead {
+		return nil, &Error{Insn: idx, Msg: "unreachable instruction"}
+	}
+	for i, ins := range prog {
+		if ins.Op.IsInternal() {
+			return nil, &Error{Insn: i, Msg: "internal opcode in input program"}
+		}
+	}
+	budget := vc.InsnBudget
+	if budget <= 0 {
+		budget = DefaultInsnBudget
+	}
+	v := &verifier{
+		cfg:    vc,
+		prog:   prog,
+		g:      g,
+		facts:  make([]AccessFact, len(prog)),
+		tables: make(map[int]map[int]*ObjTableEntry),
+		cps:    make(map[int]bool),
+		budget: budget,
+	}
+	v.rpoIdx = make([]int, len(prog))
+	for i, n := range g.RPO() {
+		v.rpoIdx[n] = i
+	}
+
+	// First attempt: path-sensitive DFS. Success proves every loop
+	// terminates, so no cancellation probes are needed (§3.3).
+	dfsErr := v.runDFS()
+	an := &Analysis{
+		Prog:   prog,
+		Graph:  g,
+		Config: vc,
+	}
+	if dfsErr == nil {
+		an.LoopsBounded = true
+		v.finish(an)
+		return an, nil
+	}
+	var verr *Error
+	loopish := errors.As(dfsErr, &verr) &&
+		(errors.Is(dfsErr, ErrUnboundedLoop) || errors.Is(dfsErr, ErrTooComplex))
+	if vc.Mode == ModeEBPF || !loopish {
+		return nil, dfsErr
+	}
+
+	// KFlex fallback: abstract-interpretation fixpoint with widening.
+	// Loops need not terminate; every retreating edge becomes a C1
+	// cancellation point.
+	v.resetFacts()
+	v.unboundedMode = true
+	if err := v.runFixpoint(); err != nil {
+		return nil, err
+	}
+	for _, e := range v.retreatingEdges() {
+		an.UnboundedEdges = append(an.UnboundedEdges, e)
+	}
+	v.finish(an)
+	return an, nil
+}
+
+func (v *verifier) resetFacts() {
+	v.facts = make([]AccessFact, len(v.prog))
+	v.tables = make(map[int]map[int]*ObjTableEntry)
+	v.cps = make(map[int]bool)
+	v.steps = 0
+}
+
+func (v *verifier) finish(an *Analysis) {
+	an.Facts = v.facts
+	an.StatesExplored = v.steps
+	an.ObjTables = make(map[int][]ObjTableEntry, len(v.cps))
+	for cp := range v.cps {
+		var rows []ObjTableEntry
+		for _, e := range v.tables[cp] {
+			rows = append(rows, *e)
+		}
+		an.ObjTables[cp] = rows
+	}
+}
+
+// retreatingEdges returns CFG edges that go backward in reverse postorder;
+// this covers natural-loop back edges and irreducible cycles.
+func (v *verifier) retreatingEdges() []cfg.BackEdge {
+	var out []cfg.BackEdge
+	for i := range v.prog {
+		for _, s := range v.g.Succ[i] {
+			if v.rpoIdx[s] <= v.rpoIdx[i] {
+				out = append(out, cfg.BackEdge{Tail: i, Head: s})
+			}
+		}
+	}
+	return out
+}
+
+// --- DFS engine (eBPF-style path exploration) --------------------------------
+
+type dfsFrame struct {
+	idx   int
+	st    *state
+	succs []succState
+	next  int
+	// visit is this frame's entry in the visited list (merge points
+	// only); it is marked complete when the frame pops.
+	visit *visitedState
+}
+
+// visitedState is a state recorded at a merge point. While its frame is
+// still on the DFS stack (inProgress), a refining revisit means the loop
+// makes no provable progress; once exploration from it has completed
+// without error, refining states can be pruned safely (the kernel's
+// states_equal pruning with in-flight branch accounting).
+type visitedState struct {
+	st         *state
+	inProgress bool
+}
+
+type succState struct {
+	idx int
+	st  *state
+}
+
+func (v *verifier) runDFS() error {
+	entry := newEntryState(!v.cfg.ScalarR1)
+	if v.cfg.ScalarR1 {
+		entry.Regs[insn.R1] = unknownScalar()
+	}
+	visited := make([][]*visitedState, len(v.prog))
+	const maxVisited = 24
+
+	stack := []*dfsFrame{{idx: 0, st: entry}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		if f.succs == nil {
+			// First processing of this frame: loop/prune checks.
+			pruned := false
+			for _, old := range visited[f.idx] {
+				if !f.st.le(old.st) {
+					continue
+				}
+				if old.inProgress {
+					return &Error{Insn: f.idx, Err: ErrUnboundedLoop, Msg: fmt.Sprintf(
+						"back edge revisits a covering state; cannot prove termination: %v", ErrUnboundedLoop)}
+				}
+				pruned = true
+				break
+			}
+			if pruned {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if v.isMergePoint(f.idx) {
+				// Evict only completed entries; in-progress ones
+				// are needed for loop detection.
+				if len(visited[f.idx]) >= maxVisited {
+					for i, old := range visited[f.idx] {
+						if !old.inProgress {
+							visited[f.idx] = append(visited[f.idx][:i], visited[f.idx][i+1:]...)
+							break
+						}
+					}
+				}
+				f.visit = &visitedState{st: f.st.clone(), inProgress: true}
+				visited[f.idx] = append(visited[f.idx], f.visit)
+			}
+			v.steps++
+			if v.steps > v.budget {
+				return &Error{Insn: f.idx, Err: ErrTooComplex, Msg: fmt.Sprintf(
+					"instruction budget exceeded (%d): %v", v.budget, ErrTooComplex)}
+			}
+			// step may mutate its input, and the fallthrough successor
+			// shares it; hand over a clone so this frame's state stays
+			// immutable for comparisons.
+			succs, err := v.step(f.idx, f.st.clone())
+			if err != nil {
+				return err
+			}
+			f.succs = succs
+			if len(succs) == 0 {
+				f.succs = []succState{} // exit path complete
+			}
+		}
+		if f.next < len(f.succs) {
+			s := f.succs[f.next]
+			f.next++
+			stack = append(stack, &dfsFrame{idx: s.idx, st: s.st})
+			continue
+		}
+		if f.visit != nil {
+			f.visit.inProgress = false
+		}
+		stack = stack[:len(stack)-1]
+	}
+	return nil
+}
+
+// isMergePoint limits prune-state retention to instructions with multiple
+// predecessors, bounding memory; every cycle passes through one.
+func (v *verifier) isMergePoint(idx int) bool {
+	return len(v.g.Pred[idx]) > 1
+}
+
+// --- Fixpoint engine (KFlex abstract interpretation) -------------------------
+
+func (v *verifier) runFixpoint() error {
+	entry := newEntryState(!v.cfg.ScalarR1)
+	if v.cfg.ScalarR1 {
+		entry.Regs[insn.R1] = unknownScalar()
+	}
+	in := make([]*state, len(v.prog))
+	visits := make([]int, len(v.prog))
+	widenPoint := make([]bool, len(v.prog))
+	for i := range v.prog {
+		for _, p := range v.g.Pred[i] {
+			if v.rpoIdx[p] >= v.rpoIdx[i] {
+				widenPoint[i] = true // target of a retreating edge
+			}
+		}
+	}
+	in[0] = entry
+	work := []int{0}
+	inWork := make([]bool, len(v.prog))
+	inWork[0] = true
+
+	for len(work) > 0 {
+		idx := work[0]
+		work = work[1:]
+		inWork[idx] = false
+		v.steps++
+		if v.steps > v.budget {
+			return &Error{Insn: idx, Msg: fmt.Sprintf(
+				"fixpoint budget exceeded (%d): %v", v.budget, ErrTooComplex)}
+		}
+		succs, err := v.step(idx, in[idx].clone())
+		if err != nil {
+			return err
+		}
+		for _, s := range succs {
+			var merged *state
+			if in[s.idx] == nil {
+				merged = s.st
+			} else {
+				var jerr error
+				if widenPoint[s.idx] && visits[s.idx] >= widenThreshold {
+					merged, jerr = in[s.idx].widen(s.st)
+				} else {
+					merged, jerr = in[s.idx].join(s.st)
+				}
+				if jerr != nil {
+					return &Error{Insn: s.idx, Msg: jerr.Error()}
+				}
+				if merged.le(in[s.idx]) {
+					continue // no new information
+				}
+			}
+			in[s.idx] = merged
+			visits[s.idx]++
+			if !inWork[s.idx] {
+				work = append(work, s.idx)
+				inWork[s.idx] = true
+			}
+		}
+	}
+	return nil
+}
+
+// --- Fact and object-table recording ------------------------------------------
+
+func (v *verifier) recordHeapAccess(idx int, read, guard, formation, manip bool) {
+	f := &v.facts[idx]
+	f.HeapAccess = true
+	f.Read = f.Read || read
+	f.Guard = f.Guard || guard
+	f.Formation = f.Formation || formation
+	f.Manip = f.Manip || manip
+}
+
+// recordCP snapshots the object table for a cancellation point at idx.
+func (v *verifier) recordCP(idx int, st *state) error {
+	v.cps[idx] = true
+	if len(st.Refs) == 0 {
+		return nil
+	}
+	tab := v.tables[idx]
+	if tab == nil {
+		tab = make(map[int]*ObjTableEntry)
+		v.tables[idx] = tab
+	}
+	for site, r := range st.Refs {
+		locs := findRefLocations(st, site)
+		if len(locs) == 0 {
+			return &Error{Insn: idx, Msg: fmt.Sprintf(
+				"reference to %s acquired at insn %d has no live location", r.Kind, site)}
+		}
+		entry, ok := tab[site]
+		if !ok {
+			tab[site] = &ObjTableEntry{
+				Site:       site,
+				Kind:       r.Kind,
+				Destructor: v.destructorFor(r.Kind),
+				Locs:       locs,
+			}
+			continue
+		}
+		// Union locations; differing location sets across paths are the
+		// §4.3 conflict requiring an acquisition-time spill.
+		if !sameLocs(entry.Locs, locs) {
+			entry.Conflict = true
+			entry.Locs = unionLocs(entry.Locs, locs)
+		}
+	}
+	return nil
+}
+
+func (v *verifier) destructorFor(kind kernel.ObjKind) string {
+	for _, id := range v.cfg.Kernel.Helpers.IDs() {
+		spec, _ := v.cfg.Kernel.Helpers.Lookup(id)
+		if spec.Releases > 0 && len(spec.Args) >= spec.Releases &&
+			spec.Args[spec.Releases-1].ObjKind == kind {
+			return spec.Name
+		}
+	}
+	return fmt.Sprintf("put_%s", kind)
+}
+
+func findRefLocations(st *state, site int) []ObjLocation {
+	var locs []ObjLocation
+	for i := range st.Regs {
+		r := &st.Regs[i]
+		if r.Type == TypeObj && r.RefSite == site {
+			locs = append(locs, ObjLocation{InReg: true, Reg: insn.Reg(i)})
+		}
+	}
+	for off, r := range st.Stack.spills {
+		if r.Type == TypeObj && r.RefSite == site {
+			locs = append(locs, ObjLocation{StackOff: off})
+		}
+	}
+	return locs
+}
+
+func sameLocs(a, b []ObjLocation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[ObjLocation]bool, len(a))
+	for _, l := range a {
+		set[l] = true
+	}
+	for _, l := range b {
+		if !set[l] {
+			return false
+		}
+	}
+	return true
+}
+
+func unionLocs(a, b []ObjLocation) []ObjLocation {
+	set := make(map[ObjLocation]bool, len(a)+len(b))
+	out := a
+	for _, l := range a {
+		set[l] = true
+	}
+	for _, l := range b {
+		if !set[l] {
+			set[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// checkRefsAlive verifies every held reference still has a live location
+// (clobbering the last copy of an acquired pointer makes release impossible).
+func checkRefsAlive(idx int, st *state) error {
+	for site, r := range st.Refs {
+		if len(findRefLocations(st, site)) == 0 {
+			return &Error{Insn: idx, Msg: fmt.Sprintf(
+				"last copy of %s reference (acquired at insn %d) was lost", r.Kind, site)}
+		}
+	}
+	return nil
+}
+
+// --- Transfer function ---------------------------------------------------------
+
+// step symbolically executes prog[idx] on st, returning successor states.
+// st may be mutated.
+func (v *verifier) step(idx int, st *state) ([]succState, error) {
+	ins := v.prog[idx]
+	cls := ins.Op.Class()
+
+	// C1 cancellation points: in unbounded (fixpoint) mode every
+	// retreating-edge tail gets an object table.
+	if v.unboundedMode {
+		for _, s := range v.g.Succ[idx] {
+			if v.rpoIdx[s] <= v.rpoIdx[idx] {
+				if err := v.recordCP(idx, st); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+
+	switch {
+	case ins.IsLoadImm64():
+		if err := v.checkWritable(idx, ins.Dst); err != nil {
+			return nil, err
+		}
+		st.Regs[ins.Dst] = constScalar(ins.Imm64)
+		return v.fallthroughSucc(idx, st)
+
+	case cls == insn.ClassALU || cls == insn.ClassALU64:
+		if err := v.stepALU(idx, ins, st); err != nil {
+			return nil, err
+		}
+		if err := checkRefsAlive(idx, st); err != nil {
+			return nil, err
+		}
+		return v.fallthroughSucc(idx, st)
+
+	case cls == insn.ClassLDX:
+		if err := v.stepLoad(idx, ins, st); err != nil {
+			return nil, err
+		}
+		if err := checkRefsAlive(idx, st); err != nil {
+			return nil, err
+		}
+		return v.fallthroughSucc(idx, st)
+
+	case cls == insn.ClassST || cls == insn.ClassSTX:
+		if err := v.stepStore(idx, ins, st); err != nil {
+			return nil, err
+		}
+		return v.fallthroughSucc(idx, st)
+
+	case cls == insn.ClassJMP || cls == insn.ClassJMP32:
+		op := ins.Op.JmpOp()
+		switch op {
+		case insn.JmpCall:
+			if err := v.stepCall(idx, ins, st); err != nil {
+				return nil, err
+			}
+			if err := checkRefsAlive(idx, st); err != nil {
+				return nil, err
+			}
+			return v.fallthroughSucc(idx, st)
+		case insn.JmpExit:
+			return nil, v.checkExit(idx, st)
+		case insn.JmpA:
+			return []succState{{idx: idx + 1 + int(ins.Off), st: st}}, nil
+		default:
+			return v.stepBranch(idx, ins, st)
+		}
+	}
+	return nil, &Error{Insn: idx, Msg: fmt.Sprintf("unknown opcode %#02x", uint8(ins.Op))}
+}
+
+func (v *verifier) fallthroughSucc(idx int, st *state) ([]succState, error) {
+	return []succState{{idx: idx + 1, st: st}}, nil
+}
+
+func (v *verifier) checkWritable(idx int, r insn.Reg) error {
+	if r == insn.R10 {
+		return &Error{Insn: idx, Msg: "frame pointer r10 is read-only"}
+	}
+	return nil
+}
+
+func (v *verifier) checkReadable(idx int, st *state, r insn.Reg) error {
+	if st.Regs[r].Type == TypeInvalid {
+		return &Error{Insn: idx, Msg: fmt.Sprintf("read of uninitialized register %v", r)}
+	}
+	return nil
+}
+
+// operand returns the abstract second operand of an ALU/JMP instruction.
+func (v *verifier) operand(idx int, ins insn.Instruction, st *state) (RegState, error) {
+	if ins.Op.UsesImm() {
+		return constScalar(uint64(int64(ins.Imm))), nil
+	}
+	if err := v.checkReadable(idx, st, ins.Src); err != nil {
+		return RegState{}, err
+	}
+	return st.Regs[ins.Src], nil
+}
+
+func (v *verifier) stepALU(idx int, ins insn.Instruction, st *state) error {
+	if err := v.checkWritable(idx, ins.Dst); err != nil {
+		return err
+	}
+	op := ins.Op.AluOp()
+	is64 := ins.Op.Class() == insn.ClassALU64
+	src, err := v.operand(idx, ins, st)
+	if err != nil {
+		return err
+	}
+	dst := st.Regs[ins.Dst]
+	if op != insn.AluMov {
+		if err := v.checkReadable(idx, st, ins.Dst); err != nil {
+			return err
+		}
+	}
+
+	// MOV copies the full abstract value (64-bit) or truncates (32-bit).
+	if op == insn.AluMov {
+		if is64 {
+			st.Regs[ins.Dst] = src
+		} else {
+			out := unknownScalar()
+			if src.Type == TypeScalar {
+				out.Tnum = src.Tnum.Subreg()
+			} else {
+				// Truncating a pointer leaks its bits into a
+				// scalar; allowed only for heap pointers.
+				if t, err := v.scalarizePointer(idx, src); err != nil {
+					return err
+				} else {
+					out.Tnum = t
+				}
+			}
+			out.SMin, out.SMax = 0, math.MaxUint32
+			out.UMin, out.UMax = 0, math.MaxUint32
+			out.deduceBounds()
+			st.Regs[ins.Dst] = out
+		}
+		return nil
+	}
+
+	dstIsPtr := dst.Type != TypeScalar && dst.Type != TypeInvalid
+	srcIsPtr := src.Type != TypeScalar && src.Type != TypeInvalid
+
+	// Pointer arithmetic.
+	if dstIsPtr || srcIsPtr {
+		if !is64 {
+			return &Error{Insn: idx, Msg: "32-bit arithmetic on pointer"}
+		}
+		switch {
+		case dstIsPtr && !srcIsPtr && (op == insn.AluAdd || op == insn.AluSub):
+			out, err := v.pointerAdd(idx, dst, src, op == insn.AluSub)
+			if err != nil {
+				return err
+			}
+			st.Regs[ins.Dst] = out
+			return nil
+		case !dstIsPtr && srcIsPtr && op == insn.AluAdd:
+			out, err := v.pointerAdd(idx, src, dst, false)
+			if err != nil {
+				return err
+			}
+			st.Regs[ins.Dst] = out
+			return nil
+		case dstIsPtr && srcIsPtr && op == insn.AluSub && dst.Type == src.Type:
+			// Pointer difference yields a scalar; allowed for heap
+			// pointers only (extension-owned addresses).
+			if dst.Type != TypeHeap {
+				return &Error{Insn: idx, Msg: "subtraction of kernel pointers"}
+			}
+			st.Regs[ins.Dst] = unknownScalar()
+			return nil
+		default:
+			// Other ops degrade heap pointers to scalars (their
+			// bits are extension-visible anyway); kernel pointers
+			// must not leak.
+			if dst.Type == TypeHeap || (!dstIsPtr && src.Type == TypeHeap) {
+				if v.cfg.Mode == ModeKFlex {
+					a, b := dst, src
+					if a.Type != TypeScalar {
+						a = unknownScalar()
+					}
+					if b.Type != TypeScalar {
+						b = unknownScalar()
+					}
+					st.Regs[ins.Dst] = aluScalar(op, is64, a, b)
+					return nil
+				}
+			}
+			return &Error{Insn: idx, Msg: fmt.Sprintf(
+				"arithmetic op %#x on %s pointer prohibited", op, dst.Type)}
+		}
+	}
+
+	st.Regs[ins.Dst] = aluScalar(op, is64, dst, src)
+	return nil
+}
+
+// scalarizePointer converts a pointer's bits to a scalar tnum where
+// permitted (heap pointers only; kernel pointers would leak addresses).
+func (v *verifier) scalarizePointer(idx int, r RegState) (tnum.T, error) {
+	if r.Type == TypeHeap && v.cfg.Mode == ModeKFlex {
+		return tnum.Unknown, nil
+	}
+	return tnum.T{}, &Error{Insn: idx, Msg: fmt.Sprintf("%s pointer leaked to scalar", r.Type)}
+}
+
+// pointerAdd computes ptr ± scalar.
+func (v *verifier) pointerAdd(idx int, ptr, scalar RegState, sub bool) (RegState, error) {
+	lo, hi := scalar.SMin, scalar.SMax
+	if sub {
+		lo, hi = -hi, -lo
+		if scalar.SMax == math.MinInt64 || scalar.SMin == math.MinInt64 {
+			lo, hi = math.MinInt64, math.MaxInt64
+		}
+	}
+	switch ptr.Type {
+	case TypeStack, TypeMapValue:
+		c, ok := scalar.IsConst()
+		if !ok {
+			return RegState{}, &Error{Insn: idx, Msg: fmt.Sprintf(
+				"variable offset into %s", ptr.Type)}
+		}
+		d := int64(c)
+		if sub {
+			d = -d
+		}
+		ptr.Off += d
+		return ptr, nil
+	case TypeHeap:
+		ptr.DMin = satAdd64(ptr.DMin, lo)
+		ptr.DMax = satAdd64(ptr.DMax, hi)
+		ptr.Adjusted = true
+		return ptr, nil
+	case TypeCtx, TypeObj:
+		return RegState{}, &Error{Insn: idx, Msg: fmt.Sprintf(
+			"arithmetic on %s pointer prohibited", ptr.Type)}
+	}
+	return RegState{}, &Error{Insn: idx, Msg: "pointer arithmetic on invalid register"}
+}
+
+// heapWindowSafe reports whether an access through a sanitized heap pointer
+// with delta bounds [dmin,dmax], instruction offset off and access size is
+// covered by the guard zones, allowing guard elision (§3.2).
+func heapWindowSafe(dmin, dmax int64, off int16, size int) bool {
+	lo := satAdd64(dmin, int64(off))
+	hi := satAdd64(satAdd64(dmax, int64(off)), int64(size))
+	return lo >= -heap.GuardZone && hi <= heap.GuardZone
+}
+
+// stepLoad handles LDX.
+func (v *verifier) stepLoad(idx int, ins insn.Instruction, st *state) error {
+	if ins.Op.Mode() != insn.ModeMEM {
+		return &Error{Insn: idx, Msg: "unsupported load mode"}
+	}
+	if err := v.checkWritable(idx, ins.Dst); err != nil {
+		return err
+	}
+	if err := v.checkReadable(idx, st, ins.Src); err != nil {
+		return err
+	}
+	size := ins.Op.SizeBytes()
+	base := st.Regs[ins.Src]
+	switch base.Type {
+	case TypeCtx:
+		f, ok := v.cfg.Hook.Field(int(ins.Off), size)
+		if !ok {
+			return &Error{Insn: idx, Msg: fmt.Sprintf(
+				"invalid ctx read at off %d size %d for hook %s", ins.Off, size, v.cfg.Hook.Name)}
+		}
+		_ = f
+		st.Regs[ins.Dst] = boundedScalar(size)
+	case TypeStack:
+		r, err := st.Stack.read(base.Off+int64(ins.Off), size)
+		if err != nil {
+			return &Error{Insn: idx, Msg: err.Error()}
+		}
+		st.Regs[ins.Dst] = r
+	case TypeMapValue:
+		if base.MaybeNull {
+			return &Error{Insn: idx, Msg: "possible NULL map-value dereference"}
+		}
+		off := base.Off + int64(ins.Off)
+		if off < 0 || off+int64(size) > base.ValSize {
+			return &Error{Insn: idx, Msg: fmt.Sprintf(
+				"map value access out of bounds: off %d size %d val %d", off, size, base.ValSize)}
+		}
+		st.Regs[ins.Dst] = boundedScalar(size)
+	case TypeObj:
+		if base.MaybeNull {
+			return &Error{Insn: idx, Msg: "possible NULL kernel-object dereference"}
+		}
+		if ins.Off < 0 || int(ins.Off)+size > 64 {
+			return &Error{Insn: idx, Msg: "kernel object read outside permitted window"}
+		}
+		st.Regs[ins.Dst] = boundedScalar(size)
+	case TypeHeap, TypeScalar:
+		if err := v.heapAccess(idx, ins, st, ins.Src, true, size); err != nil {
+			return err
+		}
+		st.Regs[ins.Dst] = boundedScalar(size)
+	default:
+		return &Error{Insn: idx, Msg: "load through invalid register"}
+	}
+	return nil
+}
+
+// boundedScalar is an unknown scalar limited to size bytes.
+func boundedScalar(size int) RegState {
+	r := unknownScalar()
+	r.Tnum = tnum.Unknown.Cast(size)
+	r.deduceBounds()
+	return r
+}
+
+// heapAccess validates and records an extension-heap access through reg.
+// In eBPF mode heap access is impossible (no heap exists), so raw-pointer
+// dereferences are compliance errors.
+func (v *verifier) heapAccess(idx int, ins insn.Instruction, st *state, reg insn.Reg, read bool, size int) error {
+	base := st.Regs[reg]
+	if v.cfg.Mode != ModeKFlex || v.cfg.HeapSize == 0 {
+		return &Error{Insn: idx, Msg: fmt.Sprintf(
+			"memory access through %s register (no extension heap declared)", base.Type)}
+	}
+	formation := base.Type == TypeScalar
+	guard := formation || !heapWindowSafe(base.DMin, base.DMax, ins.Off, size)
+	manip := base.Type == TypeHeap && base.Adjusted
+	v.recordHeapAccess(idx, read, guard, formation, manip)
+	if err := v.recordCP(idx, st); err != nil { // every heap access is a C2 CP
+		return err
+	}
+	if guard {
+		// The guard re-sanitizes the register in place — except that in
+		// performance mode read guards are skipped at runtime, so their
+		// sanitization cannot be relied upon by later accesses.
+		if !(read && v.cfg.PerfMode) {
+			st.Regs[reg] = RegState{Type: TypeHeap}
+		}
+	}
+	return nil
+}
+
+// stepStore handles ST and STX (including atomics).
+func (v *verifier) stepStore(idx int, ins insn.Instruction, st *state) error {
+	size := ins.Op.SizeBytes()
+	if err := v.checkReadable(idx, st, ins.Dst); err != nil {
+		return err
+	}
+	isAtomic := ins.Op.Class() == insn.ClassSTX && ins.Op.Mode() == insn.ModeATOMIC
+	if !isAtomic && ins.Op.Mode() != insn.ModeMEM {
+		return &Error{Insn: idx, Msg: "unsupported store mode"}
+	}
+	var val RegState
+	if ins.Op.Class() == insn.ClassSTX {
+		if err := v.checkReadable(idx, st, ins.Src); err != nil {
+			return err
+		}
+		val = st.Regs[ins.Src]
+	} else {
+		val = constScalar(uint64(int64(ins.Imm)))
+	}
+	if isAtomic {
+		return v.stepAtomic(idx, ins, st, val, size)
+	}
+
+	base := st.Regs[ins.Dst]
+	switch base.Type {
+	case TypeCtx:
+		f, ok := v.cfg.Hook.Field(int(ins.Off), size)
+		if !ok || !f.Writable {
+			return &Error{Insn: idx, Msg: fmt.Sprintf(
+				"invalid ctx write at off %d size %d for hook %s", ins.Off, size, v.cfg.Hook.Name)}
+		}
+		if val.Type != TypeScalar {
+			return &Error{Insn: idx, Msg: "storing pointer into ctx"}
+		}
+	case TypeStack:
+		var full *RegState
+		if ins.Op.Class() == insn.ClassSTX {
+			full = &val
+		}
+		if err := st.Stack.write(base.Off+int64(ins.Off), size, full); err != nil {
+			return &Error{Insn: idx, Msg: err.Error()}
+		}
+		if err := checkRefsAlive(idx, st); err != nil {
+			return err
+		}
+	case TypeMapValue:
+		if base.MaybeNull {
+			return &Error{Insn: idx, Msg: "possible NULL map-value dereference"}
+		}
+		off := base.Off + int64(ins.Off)
+		if off < 0 || off+int64(size) > base.ValSize {
+			return &Error{Insn: idx, Msg: fmt.Sprintf(
+				"map value access out of bounds: off %d size %d val %d", off, size, base.ValSize)}
+		}
+		if val.Type != TypeScalar {
+			return &Error{Insn: idx, Msg: "storing pointer into map value"}
+		}
+	case TypeHeap, TypeScalar:
+		switch val.Type {
+		case TypeScalar, TypeInvalid:
+			if val.Type == TypeInvalid {
+				return &Error{Insn: idx, Msg: "storing uninitialized register"}
+			}
+		case TypeHeap:
+			if size == 8 && v.cfg.ShareHeap {
+				v.facts[idx].StoresHeapPtr = true
+			}
+		default:
+			return &Error{Insn: idx, Msg: fmt.Sprintf(
+				"storing %s pointer into extension heap leaks kernel state", val.Type)}
+		}
+		if err := v.heapAccess(idx, ins, st, ins.Dst, false, size); err != nil {
+			return err
+		}
+	case TypeObj:
+		return &Error{Insn: idx, Msg: "kernel objects are read-only"}
+	default:
+		return &Error{Insn: idx, Msg: "store through invalid register"}
+	}
+	return nil
+}
+
+func (v *verifier) stepAtomic(idx int, ins insn.Instruction, st *state, val RegState, size int) error {
+	if size != 4 && size != 8 {
+		return &Error{Insn: idx, Msg: "atomic operations require 4- or 8-byte size"}
+	}
+	if val.Type != TypeScalar {
+		return &Error{Insn: idx, Msg: "atomic operand must be scalar"}
+	}
+	switch op := ins.Imm; op {
+	case insn.AtomicAdd, insn.AtomicOr, insn.AtomicAnd, insn.AtomicXor:
+	case insn.AtomicAdd | insn.AtomicFetch, insn.AtomicOr | insn.AtomicFetch,
+		insn.AtomicAnd | insn.AtomicFetch, insn.AtomicXor | insn.AtomicFetch,
+		insn.AtomicXchg:
+		st.Regs[ins.Src] = boundedScalar(size)
+	case insn.AtomicCmpXchg:
+		if err := v.checkReadable(idx, st, insn.R0); err != nil {
+			return err
+		}
+		if st.Regs[insn.R0].Type != TypeScalar {
+			return &Error{Insn: idx, Msg: "cmpxchg expects scalar in r0"}
+		}
+		st.Regs[insn.R0] = boundedScalar(size)
+	default:
+		return &Error{Insn: idx, Msg: fmt.Sprintf("unknown atomic op %#x", ins.Imm)}
+	}
+
+	base := st.Regs[ins.Dst]
+	switch base.Type {
+	case TypeMapValue:
+		if base.MaybeNull {
+			return &Error{Insn: idx, Msg: "possible NULL map-value dereference"}
+		}
+		off := base.Off + int64(ins.Off)
+		if off < 0 || off+int64(size) > base.ValSize {
+			return &Error{Insn: idx, Msg: "atomic access out of map value bounds"}
+		}
+		return nil
+	case TypeHeap, TypeScalar:
+		return v.heapAccess(idx, ins, st, ins.Dst, false, size)
+	default:
+		return &Error{Insn: idx, Msg: fmt.Sprintf("atomic access through %s register", base.Type)}
+	}
+}
+
+// stepBranch handles conditional jumps with per-edge refinement.
+func (v *verifier) stepBranch(idx int, ins insn.Instruction, st *state) ([]succState, error) {
+	op := ins.Op.JmpOp()
+	is64 := ins.Op.Class() == insn.ClassJMP
+	if err := v.checkReadable(idx, st, ins.Dst); err != nil {
+		return nil, err
+	}
+	src, err := v.operand(idx, ins, st)
+	if err != nil {
+		return nil, err
+	}
+	dst := st.Regs[ins.Dst]
+	target := idx + 1 + int(ins.Off)
+
+	// NULL compares against provably non-null pointers take one edge
+	// (kernel pointers are never zero; heap pointers are sanitized).
+	if is64 && nullable(dst.Type) && !dst.MaybeNull && src.IsNullConst() &&
+		(op == insn.JmpEq || op == insn.JmpNe) {
+		if op == insn.JmpNe {
+			return []succState{{idx: target, st: st}}, nil
+		}
+		return []succState{{idx: idx + 1, st: st}}, nil
+	}
+
+	// NULL checks on maybe-null pointers.
+	if is64 && nullable(dst.Type) && src.IsNullConst() && (op == insn.JmpEq || op == insn.JmpNe) {
+		taken := st.clone()
+		fall := st
+		var nullSt, ptrSt *state
+		if op == insn.JmpEq {
+			nullSt, ptrSt = taken, fall
+		} else {
+			nullSt, ptrSt = fall, taken
+		}
+		markNull(nullSt, ins.Dst)
+		markNonNull(ptrSt, ins.Dst)
+		return []succState{{idx: target, st: taken}, {idx: idx + 1, st: fall}}, nil
+	}
+
+	// Pointer/pointer or pointer/scalar equality comparisons: allowed for
+	// heap pointers (their bits are extension-visible); no refinement.
+	dstPtr := dst.Type != TypeScalar
+	srcPtr := src.Type != TypeScalar
+	if dstPtr || srcPtr {
+		heapOK := (dst.Type == TypeHeap || dst.Type == TypeScalar) &&
+			(src.Type == TypeHeap || src.Type == TypeScalar)
+		if !(heapOK && (op == insn.JmpEq || op == insn.JmpNe)) {
+			return nil, &Error{Insn: idx, Msg: fmt.Sprintf(
+				"comparison %#x between %s and %s prohibited", op, dst.Type, src.Type)}
+		}
+		return []succState{{idx: target, st: st.clone()}, {idx: idx + 1, st: st}}, nil
+	}
+
+	// Constant-foldable branches take a single edge, which is what lets
+	// DFS unroll counted loops to completion.
+	if is64 {
+		if dec, ok := evalConstBranch(op, dst, src); ok {
+			if dec {
+				return []succState{{idx: target, st: st}}, nil
+			}
+			return []succState{{idx: idx + 1, st: st}}, nil
+		}
+	}
+
+	taken := st.clone()
+	fall := st
+	if is64 && op != insn.JmpSet {
+		td, ts := taken.Regs[ins.Dst], src
+		refineCompare(op, &td, &ts)
+		taken.Regs[ins.Dst] = td
+		if !ins.Op.UsesImm() {
+			taken.Regs[ins.Src] = ts
+		}
+		fd, fs := fall.Regs[ins.Dst], src
+		refineCompare(invertJmp(op), &fd, &fs)
+		fall.Regs[ins.Dst] = fd
+		if !ins.Op.UsesImm() {
+			fall.Regs[ins.Src] = fs
+		}
+	}
+	return []succState{{idx: target, st: taken}, {idx: idx + 1, st: fall}}, nil
+}
+
+// evalConstBranch decides a comparison whose outcome is statically known.
+func evalConstBranch(op uint8, a, b RegState) (bool, bool) {
+	decide := func(takenIf, notIf bool) (bool, bool) {
+		if takenIf {
+			return true, true
+		}
+		if notIf {
+			return false, true
+		}
+		return false, false
+	}
+	switch op {
+	case insn.JmpEq:
+		av, aok := a.IsConst()
+		bv, bok := b.IsConst()
+		if aok && bok {
+			return av == bv, true
+		}
+		if a.UMax < b.UMin || a.UMin > b.UMax {
+			return false, true
+		}
+	case insn.JmpNe:
+		av, aok := a.IsConst()
+		bv, bok := b.IsConst()
+		if aok && bok {
+			return av != bv, true
+		}
+		if a.UMax < b.UMin || a.UMin > b.UMax {
+			return true, true
+		}
+	case insn.JmpGt:
+		return decide(a.UMin > b.UMax, a.UMax <= b.UMin)
+	case insn.JmpGe:
+		return decide(a.UMin >= b.UMax, a.UMax < b.UMin)
+	case insn.JmpLt:
+		return decide(a.UMax < b.UMin, a.UMin >= b.UMax)
+	case insn.JmpLe:
+		return decide(a.UMax <= b.UMin, a.UMin > b.UMax)
+	case insn.JmpSgt:
+		return decide(a.SMin > b.SMax, a.SMax <= b.SMin)
+	case insn.JmpSge:
+		return decide(a.SMin >= b.SMax, a.SMax < b.SMin)
+	case insn.JmpSlt:
+		return decide(a.SMax < b.SMin, a.SMin >= b.SMax)
+	case insn.JmpSle:
+		return decide(a.SMax <= b.SMin, a.SMin > b.SMax)
+	}
+	return false, false
+}
+
+// markNull rewrites a pointer register to scalar zero on the NULL branch,
+// dropping the associated reference for acquired objects (nothing is held).
+func markNull(st *state, r insn.Reg) {
+	reg := &st.Regs[r]
+	if reg.Type == TypeObj {
+		delete(st.Refs, reg.RefSite)
+	}
+	st.Regs[r] = constScalar(0)
+}
+
+func markNonNull(st *state, r insn.Reg) {
+	st.Regs[r].MaybeNull = false
+}
+
+// checkExit enforces the exit contract: r0 holds a scalar return code, all
+// references are released, and no locks are held.
+func (v *verifier) checkExit(idx int, st *state) error {
+	if st.Regs[insn.R0].Type != TypeScalar {
+		return &Error{Insn: idx, Msg: "r0 must hold a scalar return value at exit"}
+	}
+	if len(st.Refs) != 0 {
+		return &Error{Insn: idx, Msg: fmt.Sprintf(
+			"kernel references not released at exit: %s", refsString(st.Refs))}
+	}
+	if st.LockDepth != 0 {
+		return &Error{Insn: idx, Msg: fmt.Sprintf(
+			"%d spin lock(s) still held at exit", st.LockDepth)}
+	}
+	return nil
+}

@@ -1,0 +1,841 @@
+package verifier
+
+import (
+	"strings"
+	"testing"
+
+	"kflex/asm"
+	"kflex/insn"
+	"kflex/internal/kernel"
+)
+
+func kflexCfg(k *kernel.Kernel) Config {
+	return Config{
+		Mode:     ModeKFlex,
+		Hook:     kernel.HookBench,
+		Kernel:   k,
+		HeapSize: 1 << 20,
+	}
+}
+
+func ebpfCfg(k *kernel.Kernel) Config {
+	return Config{Mode: ModeEBPF, Hook: kernel.HookBench, Kernel: k}
+}
+
+func wantErr(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("verification succeeded, want error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("err = %v, want fragment %q", err, frag)
+	}
+}
+
+func TestStraightLineAccepted(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		MovImm(insn.R0, 0).
+		Exit().
+		MustAssemble()
+	an, err := Verify(prog, ebpfCfg(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.LoopsBounded || len(an.UnboundedEdges) != 0 {
+		t.Error("straight-line program should be fully bounded")
+	}
+}
+
+func TestUninitializedRegisterRejected(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		Mov(insn.R0, insn.R3). // r3 never written
+		Exit().
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "uninitialized register")
+}
+
+func TestExitWithoutR0Rejected(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().Exit().MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "r0")
+}
+
+func TestFramePointerReadOnly(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		MovImm(insn.R10, 0).
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "read-only")
+}
+
+func TestUnreachableCodeRejected(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		Ja("end").
+		MovImm(insn.R0, 1).
+		Label("end").
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "unreachable")
+}
+
+func TestInternalOpcodeRejected(t *testing.T) {
+	k := kernel.New()
+	prog := []insn.Instruction{insn.Guard(insn.R1), insn.Mov64Imm(insn.R0, 0), insn.Exit()}
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "internal opcode")
+}
+
+func TestCountedLoopUnrolls(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		MovImm(insn.R1, 64).
+		MovImm(insn.R2, 0).
+		Label("loop").
+		AddReg(insn.R2, insn.R1).
+		I(insn.Alu64Imm(insn.AluSub, insn.R1, 1)).
+		JmpImm(insn.JmpNe, insn.R1, 0, "loop").
+		Mov(insn.R0, insn.R2).
+		Exit().
+		MustAssemble()
+	an, err := Verify(prog, ebpfCfg(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.LoopsBounded {
+		t.Error("counted loop should be proven bounded")
+	}
+}
+
+func TestUnboundedLoopRejectedInEBPF(t *testing.T) {
+	k := kernel.New()
+	// while (r1 != 0) r1 = ctx->a  -- value always unknown, no progress.
+	prog := asm.New().
+		Mov(insn.R6, insn.R1).
+		Load(insn.R1, insn.R6, 8, 8).
+		Label("loop").
+		JmpImm(insn.JmpEq, insn.R1, 0, "out").
+		Load(insn.R1, insn.R6, 8, 8).
+		Ja("loop").
+		Label("out").
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "termination")
+}
+
+func TestUnboundedLoopInstrumentedInKFlex(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		Mov(insn.R6, insn.R1).
+		Load(insn.R1, insn.R6, 8, 8).
+		Label("loop").
+		JmpImm(insn.JmpEq, insn.R1, 0, "out").
+		Load(insn.R1, insn.R6, 8, 8).
+		Ja("loop").
+		Label("out").
+		Ret(0).
+		MustAssemble()
+	an, err := Verify(prog, kflexCfg(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.LoopsBounded {
+		t.Error("loop should not be proven bounded")
+	}
+	if len(an.UnboundedEdges) == 0 {
+		t.Fatal("expected unbounded back edges for C1 instrumentation")
+	}
+}
+
+func TestListWalkFactsInKFlex(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R6, insn.R0). // r6 = heap base pointer
+		Load(insn.R6, insn.R6, 0, 8).
+		Label("loop").
+		JmpImm(insn.JmpEq, insn.R6, 0, "out").
+		Load(insn.R7, insn.R6, 0, 8). // e->key (r6 scalar after reload: formation)
+		Load(insn.R6, insn.R6, 8, 8). // e = e->next
+		Ja("loop").
+		Label("out").
+		Ret(0).
+		MustAssemble()
+	an, err := Verify(prog, kflexCfg(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.UnboundedEdges) == 0 {
+		t.Fatal("list walk needs a cancellation probe")
+	}
+	// The first load through the fresh heap-base pointer is elided
+	// (delta 0); the loads through reloaded pointers need formation
+	// guards on at least one path.
+	f2 := an.Facts[2]
+	if !f2.HeapAccess || !f2.Read {
+		t.Fatalf("insn 2 facts = %+v", f2)
+	}
+	var sawFormation, sawElided bool
+	for i, f := range an.Facts {
+		if !f.HeapAccess {
+			continue
+		}
+		if f.Formation {
+			sawFormation = true
+		}
+		if !f.Guard {
+			sawElided = true
+		}
+		_ = i
+	}
+	if !sawFormation {
+		t.Error("expected at least one formation guard")
+	}
+	if !sawElided {
+		t.Error("expected at least one elided access")
+	}
+}
+
+func TestHeapDerefRejectedInEBPF(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		Load(insn.R2, insn.R1, 0, 8). // ctx->op (scalar)
+		Load(insn.R3, insn.R2, 0, 8). // deref scalar
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "no extension heap")
+}
+
+func TestGuardElisionWindow(t *testing.T) {
+	k := kernel.New()
+	// Small constant offsets after a formation guard are elided; a huge
+	// accumulated delta forces a manipulation guard.
+	prog := asm.New().
+		Load(insn.R2, insn.R1, 0, 8).  // scalar from ctx
+		Load(insn.R3, insn.R2, 0, 8).  // insn 1: formation guard
+		Load(insn.R4, insn.R2, 16, 8). // insn 2: elided (delta 0, off 16)
+		Add(insn.R2, 1<<20).           // delta beyond guard zone
+		Load(insn.R5, insn.R2, 0, 8).  // insn 4: manipulation guard
+		Load(insn.R5, insn.R2, 8, 8).  // insn 5: elided again (re-sanitized)
+		Ret(0).
+		MustAssemble()
+	an, err := Verify(prog, kflexCfg(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		idx              int
+		guard, formation bool
+	}{
+		{1, true, true},
+		{2, false, false},
+		{4, true, false},
+		{5, false, false},
+	}
+	for _, c := range checks {
+		f := an.Facts[c.idx]
+		if !f.HeapAccess {
+			t.Errorf("insn %d: not a heap access", c.idx)
+			continue
+		}
+		if f.Guard != c.guard || f.Formation != c.formation {
+			t.Errorf("insn %d: guard=%v formation=%v, want %v/%v",
+				c.idx, f.Guard, f.Formation, c.guard, c.formation)
+		}
+	}
+}
+
+func TestSmallDeltaElided(t *testing.T) {
+	k := kernel.New()
+	// A bounded scalar added to a sanitized pointer stays inside the
+	// guard window, so no guard is needed (the §5.4 range-analysis win).
+	prog := asm.New().
+		Load(insn.R2, insn.R1, 0, 8).                 // scalar
+		Load(insn.R3, insn.R2, 0, 8).                 // formation; r2 sanitized
+		Load(insn.R4, insn.R1, 8, 8).                 // ctx->a scalar
+		I(insn.Alu64Imm(insn.AluAnd, insn.R4, 1023)). // bound to [0,1023]
+		AddReg(insn.R2, insn.R4).
+		Load(insn.R5, insn.R2, 0, 8). // delta <= 1023: elided
+		Ret(0).
+		MustAssemble()
+	an, err := Verify(prog, kflexCfg(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := an.Facts[5]; !f.HeapAccess || f.Guard {
+		t.Fatalf("bounded-delta access facts = %+v, want elided", f)
+	}
+}
+
+func TestMallocNullCheckFlow(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		MovImm(insn.R1, 64).
+		Call(kernel.HelperKflexMalloc).
+		JmpImm(insn.JmpEq, insn.R0, 0, "oom").
+		StoreImm(insn.R0, 0, 42, 8). // elided: fresh sanitized pointer
+		Ret(0).
+		Label("oom").
+		Ret(1).
+		MustAssemble()
+	an, err := Verify(prog, kflexCfg(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := an.Facts[3]; !f.HeapAccess || f.Guard {
+		t.Fatalf("store to fresh malloc = %+v, want elided", f)
+	}
+}
+
+func TestKFlexHelperRejectedInEBPF(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		MovImm(insn.R1, 64).
+		Call(kernel.HelperKflexMalloc).
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "requires a KFlex extension")
+}
+
+func TestCtxCompliance(t *testing.T) {
+	k := kernel.New()
+	// Out-of-bounds ctx read.
+	prog := asm.New().
+		Load(insn.R2, insn.R1, 100, 8).
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "invalid ctx read")
+
+	// Write to a read-only field.
+	prog = asm.New().
+		StoreImm(insn.R1, 0, 1, 8).
+		Ret(0).
+		MustAssemble()
+	_, err = Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "invalid ctx write")
+
+	// Write to the writable bench out field is fine.
+	prog = asm.New().
+		StoreImm(insn.R1, 24, 1, 8).
+		Ret(0).
+		MustAssemble()
+	if _, err := Verify(prog, ebpfCfg(k)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackDiscipline(t *testing.T) {
+	k := kernel.New()
+	// Read of uninitialized stack.
+	prog := asm.New().
+		Load(insn.R2, insn.R10, -8, 8).
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "uninitialized stack")
+
+	// Out-of-frame access.
+	prog = asm.New().
+		StoreImm(insn.R10, -520, 1, 8).
+		Ret(0).
+		MustAssemble()
+	_, err = Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "invalid stack write")
+
+	// Write then read round-trips.
+	prog = asm.New().
+		StoreImm(insn.R10, -8, 7, 8).
+		Load(insn.R2, insn.R10, -8, 8).
+		Ret(0).
+		MustAssemble()
+	if _, err := Verify(prog, ebpfCfg(k)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillFillPreservesPointer(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		Store(insn.R10, -8, insn.R1, 8). // spill ctx
+		Load(insn.R2, insn.R10, -8, 8).  // fill it back
+		Load(insn.R3, insn.R2, 0, 4).    // use as ctx
+		Ret(0).
+		MustAssemble()
+	if _, err := Verify(prog, ebpfCfg(k)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialOverwriteInvalidatesSpill(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		Store(insn.R10, -8, insn.R1, 8). // spill ctx
+		StoreImm(insn.R10, -6, 0, 1).    // clobber one byte
+		Load(insn.R2, insn.R10, -8, 8).  // now a scalar
+		Load(insn.R3, insn.R2, 0, 4).    // deref scalar -> invalid in eBPF
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "no extension heap")
+}
+
+func TestRefLeakRejected(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		// build a zeroed 12-byte tuple at fp-16
+		StoreImm(insn.R10, -16, 0, 8).
+		StoreImm(insn.R10, -8, 0, 8).
+		Mov(insn.R2, insn.R10).
+		Add(insn.R2, -16).
+		MovImm(insn.R3, 12).
+		MovImm(insn.R4, 0).
+		MovImm(insn.R5, 0).
+		Call(kernel.HelperSkLookup).
+		Ret(0). // leaked!
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	// The overwrite of r0 (the only copy of the acquired reference) is
+	// caught eagerly: the reference can never be released afterwards.
+	wantErr(t, err, "sock reference")
+}
+
+func skLookupProg(release bool) *asm.Builder {
+	b := asm.New().
+		StoreImm(insn.R10, -16, 0, 8).
+		StoreImm(insn.R10, -8, 0, 8).
+		Mov(insn.R2, insn.R10).
+		Add(insn.R2, -16).
+		MovImm(insn.R3, 12).
+		MovImm(insn.R4, 0).
+		MovImm(insn.R5, 0).
+		Call(kernel.HelperSkLookup).
+		JmpImm(insn.JmpEq, insn.R0, 0, "null").
+		Mov(insn.R1, insn.R0)
+	if release {
+		b.Call(kernel.HelperSkRelease)
+	}
+	b.Ret(0).
+		Label("null").
+		Ret(1)
+	return b
+}
+
+func TestAcquireReleaseAccepted(t *testing.T) {
+	k := kernel.New()
+	if _, err := Verify(skLookupProg(true).MustAssemble(), ebpfCfg(k)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcquireWithoutReleaseOnLivePathRejected(t *testing.T) {
+	k := kernel.New()
+	_, err := Verify(skLookupProg(false).MustAssemble(), ebpfCfg(k))
+	wantErr(t, err, "not released")
+}
+
+func TestDoubleReleaseRejected(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		StoreImm(insn.R10, -16, 0, 8).
+		StoreImm(insn.R10, -8, 0, 8).
+		Mov(insn.R2, insn.R10).
+		Add(insn.R2, -16).
+		MovImm(insn.R3, 12).
+		MovImm(insn.R4, 0).
+		MovImm(insn.R5, 0).
+		Call(kernel.HelperSkLookup).
+		JmpImm(insn.JmpEq, insn.R0, 0, "null").
+		Mov(insn.R6, insn.R0).
+		Mov(insn.R1, insn.R6).
+		Call(kernel.HelperSkRelease).
+		Mov(insn.R1, insn.R6). // r6 was invalidated by the release
+		Call(kernel.HelperSkRelease).
+		Label("null").
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	// r6 is invalidated when the reference it held is released, so the
+	// second use is caught as an uninitialized read.
+	wantErr(t, err, "uninitialized register")
+}
+
+func TestTupleBufMustBeInitialized(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		Mov(insn.R2, insn.R10).
+		Add(insn.R2, -16).
+		MovImm(insn.R3, 12).
+		MovImm(insn.R4, 0).
+		MovImm(insn.R5, 0).
+		Call(kernel.HelperSkLookup).
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, ebpfCfg(k))
+	wantErr(t, err, "uninitialized stack bytes")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	k := kernel.New()
+	// Exit while holding a lock.
+	prog := asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R1, insn.R0).
+		Call(kernel.HelperKflexSpinLock).
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, kflexCfg(k))
+	wantErr(t, err, "still held at exit")
+
+	// Unlock without lock.
+	prog = asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R1, insn.R0).
+		Call(kernel.HelperKflexSpinUnlock).
+		Ret(0).
+		MustAssemble()
+	_, err = Verify(prog, kflexCfg(k))
+	wantErr(t, err, "unlock without")
+
+	// Nested locks are fine in KFlex mode (§3.1).
+	prog = asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R6, insn.R0).
+		Mov(insn.R1, insn.R6).
+		Call(kernel.HelperKflexSpinLock).
+		Mov(insn.R1, insn.R6).
+		Add(insn.R1, 64).
+		Call(kernel.HelperKflexSpinLock).
+		Mov(insn.R1, insn.R6).
+		Add(insn.R1, 64).
+		Call(kernel.HelperKflexSpinUnlock).
+		Mov(insn.R1, insn.R6).
+		Call(kernel.HelperKflexSpinUnlock).
+		Ret(0).
+		MustAssemble()
+	if _, err := Verify(prog, kflexCfg(k)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEBPFSingleLockRule(t *testing.T) {
+	// Register an eBPF-visible lock helper to exercise the single-lock
+	// restriction (§2.2: extensions can acquire only one lock today).
+	k := kernel.New()
+	k.Helpers.MustRegister(&kernel.HelperSpec{
+		ID:     900,
+		Name:   "test_spin_lock",
+		Args:   []kernel.Arg{{Kind: kernel.ArgScalar}},
+		Ret:    kernel.Ret{Kind: kernel.RetScalar},
+		LockOp: kernel.LockAcquire,
+		Impl:   func(*kernel.HelperCtx, [5]uint64) (uint64, error) { return 0, nil },
+	})
+	k.Helpers.MustRegister(&kernel.HelperSpec{
+		ID:     901,
+		Name:   "test_spin_unlock",
+		Args:   []kernel.Arg{{Kind: kernel.ArgScalar}},
+		Ret:    kernel.Ret{Kind: kernel.RetScalar},
+		LockOp: kernel.LockRelease,
+		Impl:   func(*kernel.HelperCtx, [5]uint64) (uint64, error) { return 0, nil },
+	})
+	two := asm.New().
+		MovImm(insn.R1, 1).
+		Call(900).
+		MovImm(insn.R1, 2).
+		Call(900).
+		MovImm(insn.R1, 2).
+		Call(901).
+		MovImm(insn.R1, 1).
+		Call(901).
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(two, ebpfCfg(k))
+	wantErr(t, err, "more than one lock")
+	if _, err := Verify(two, kflexCfg(k)); err != nil {
+		t.Fatalf("KFlex mode should accept two locks: %v", err)
+	}
+}
+
+func TestMapHelperChecks(t *testing.T) {
+	k := kernel.New()
+	m := &testMap{keySize: 4, valSize: 8}
+	if err := k.AddMap(7, m); err != nil {
+		t.Fatal(err)
+	}
+	good := asm.New().
+		StoreImm(insn.R10, -4, 1, 4). // key
+		MovImm(insn.R1, 7).
+		Mov(insn.R2, insn.R10).
+		Add(insn.R2, -4).
+		Call(kernel.HelperMapLookup).
+		JmpImm(insn.JmpEq, insn.R0, 0, "miss").
+		Load(insn.R3, insn.R0, 0, 8). // read value
+		StoreImm(insn.R0, 0, 9, 4).   // write value
+		Label("miss").
+		Ret(0)
+	if _, err := Verify(good.MustAssemble(), ebpfCfg(k)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Value access out of bounds.
+	bad := asm.New().
+		StoreImm(insn.R10, -4, 1, 4).
+		MovImm(insn.R1, 7).
+		Mov(insn.R2, insn.R10).
+		Add(insn.R2, -4).
+		Call(kernel.HelperMapLookup).
+		JmpImm(insn.JmpEq, insn.R0, 0, "miss").
+		Load(insn.R3, insn.R0, 8, 8).
+		Label("miss").
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(bad, ebpfCfg(k))
+	wantErr(t, err, "out of bounds")
+
+	// Missing NULL check.
+	bad = asm.New().
+		StoreImm(insn.R10, -4, 1, 4).
+		MovImm(insn.R1, 7).
+		Mov(insn.R2, insn.R10).
+		Add(insn.R2, -4).
+		Call(kernel.HelperMapLookup).
+		Load(insn.R3, insn.R0, 0, 8).
+		Ret(0).
+		MustAssemble()
+	_, err = Verify(bad, ebpfCfg(k))
+	wantErr(t, err, "NULL")
+
+	// Unknown map ID.
+	bad = asm.New().
+		StoreImm(insn.R10, -4, 1, 4).
+		MovImm(insn.R1, 99).
+		Mov(insn.R2, insn.R10).
+		Add(insn.R2, -4).
+		Call(kernel.HelperMapLookup).
+		Ret(0).
+		MustAssemble()
+	_, err = Verify(bad, ebpfCfg(k))
+	wantErr(t, err, "no map registered")
+}
+
+type testMap struct {
+	keySize, valSize int
+}
+
+func (m *testMap) KeySize() int             { return m.keySize }
+func (m *testMap) ValueSize() int           { return m.valSize }
+func (m *testMap) Lookup(key []byte) []byte { return nil }
+func (m *testMap) Update(key, value []byte) error {
+	return nil
+}
+func (m *testMap) Delete(key []byte) bool { return false }
+
+func TestObjectTableAtCancellationPoints(t *testing.T) {
+	k := kernel.New()
+	// Acquire a socket, then run an unbounded heap-walking loop while
+	// holding it, releasing after. Every CP inside the loop must carry
+	// the socket in its object table.
+	prog := asm.New().
+		StoreImm(insn.R10, -16, 0, 8).
+		StoreImm(insn.R10, -8, 0, 8).
+		Mov(insn.R2, insn.R10).
+		Add(insn.R2, -16).
+		MovImm(insn.R3, 12).
+		MovImm(insn.R4, 0).
+		MovImm(insn.R5, 0).
+		Call(kernel.HelperSkLookup). // insn 7: acquire
+		JmpImm(insn.JmpEq, insn.R0, 0, "out").
+		Mov(insn.R6, insn.R0). // hold sock in r6
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R7, insn.R0).
+		Label("loop").
+		Load(insn.R7, insn.R7, 0, 8). // heap access: C2 CP
+		JmpImm(insn.JmpNe, insn.R7, 0, "loop").
+		Mov(insn.R1, insn.R6).
+		Call(kernel.HelperSkRelease).
+		Label("out").
+		Ret(0).
+		MustAssemble()
+	an, err := Verify(prog, kflexCfg(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.ObjTables) == 0 {
+		t.Fatal("no object tables recorded")
+	}
+	found := false
+	for cp, rows := range an.ObjTables {
+		for _, row := range rows {
+			if row.Kind == "sock" && row.Site == 7 {
+				found = true
+				if row.Destructor != "bpf_sk_release" {
+					t.Errorf("cp %d: destructor = %q", cp, row.Destructor)
+				}
+				if len(row.Locs) == 0 {
+					t.Errorf("cp %d: no locations", cp)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("socket missing from object tables")
+	}
+}
+
+func TestMonotonicAcquisitionInLoopRejected(t *testing.T) {
+	k := kernel.New()
+	// Acquire inside an unbounded loop without releasing: violates the
+	// convergence constraint (§3.1).
+	prog := asm.New().
+		Mov(insn.R9, insn.R1). // save ctx
+		StoreImm(insn.R10, -16, 0, 8).
+		StoreImm(insn.R10, -8, 0, 8).
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R7, insn.R0).
+		Label("loop").
+		Mov(insn.R1, insn.R9).
+		Mov(insn.R2, insn.R10).
+		Add(insn.R2, -16).
+		MovImm(insn.R3, 12).
+		MovImm(insn.R4, 0).
+		MovImm(insn.R5, 0).
+		Call(kernel.HelperSkLookup).
+		JmpImm(insn.JmpEq, insn.R0, 0, "loop-tail").
+		Store(insn.R10, -24, insn.R0, 8). // keep it somewhere
+		Label("loop-tail").
+		Load(insn.R7, insn.R7, 0, 8).
+		JmpImm(insn.JmpNe, insn.R7, 0, "loop").
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, kflexCfg(k))
+	if err == nil {
+		t.Fatal("monotonic acquisition accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "converge") && !strings.Contains(msg, "monotonically") &&
+		!strings.Contains(msg, "not released") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestStoringKernelPointerIntoHeapRejected(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		Mov(insn.R6, insn.R1). // ctx survives the call in r6
+		Call(kernel.HelperKflexHeapBase).
+		Store(insn.R0, 0, insn.R6, 8). // store ctx pointer into heap
+		Ret(0).
+		MustAssemble()
+	_, err := Verify(prog, kflexCfg(k))
+	wantErr(t, err, "leaks kernel state")
+}
+
+func TestTranslateOnStoreFacts(t *testing.T) {
+	k := kernel.New()
+	cfgShare := kflexCfg(k)
+	cfgShare.ShareHeap = true
+	prog := asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R6, insn.R0).
+		Mov(insn.R7, insn.R6).
+		Add(insn.R7, 64).
+		Store(insn.R6, 0, insn.R7, 8). // stores a heap pointer
+		StoreImm(insn.R6, 8, 5, 8).    // stores a scalar
+		Ret(0).
+		MustAssemble()
+	an, err := Verify(prog, cfgShare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Facts[4].StoresHeapPtr {
+		t.Error("heap-pointer store not flagged for translation")
+	}
+	if an.Facts[5].StoresHeapPtr {
+		t.Error("scalar store wrongly flagged")
+	}
+	// Without sharing, no translation facts.
+	an2, err := Verify(prog, kflexCfg(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an2.Facts[4].StoresHeapPtr {
+		t.Error("translation fact without ShareHeap")
+	}
+}
+
+func TestCallbackVerification(t *testing.T) {
+	k := kernel.New()
+	// A valid callback: scalar in r1, returns a derived code.
+	cb := asm.New().
+		Mov(insn.R0, insn.R1).
+		I(insn.Alu64Imm(insn.AluAnd, insn.R0, 0xff)).
+		Exit().
+		MustAssemble()
+	cfg := Config{Mode: ModeEBPF, Kernel: k, ScalarR1: true}
+	if _, err := Verify(cb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Callbacks may not loop unboundedly.
+	bad := asm.New().
+		Label("spin").
+		JmpImm(insn.JmpNe, insn.R1, 0, "spin").
+		Ret(0).
+		MustAssemble()
+	if _, err := Verify(bad, cfg); err == nil {
+		t.Fatal("unbounded callback accepted")
+	}
+}
+
+func TestAtomicsOnHeap(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		MovImm(insn.R2, 1).
+		I(insn.Atomic(insn.AtomicAdd, insn.R0, 0, insn.R2, 8)).
+		I(insn.Atomic(insn.AtomicXchg, insn.R0, 8, insn.R2, 8)).
+		MovImm(insn.R0, 0).
+		Exit().
+		MustAssemble()
+	an, err := Verify(prog, kflexCfg(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Facts[2].HeapAccess || an.Facts[2].Read {
+		t.Errorf("atomic facts = %+v", an.Facts[2])
+	}
+	// Misuse: 2-byte atomic.
+	bad := asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		MovImm(insn.R2, 1).
+		I(insn.Atomic(insn.AtomicAdd, insn.R0, 0, insn.R2, 2)).
+		Ret(0).
+		MustAssemble()
+	_, err = Verify(bad, kflexCfg(k))
+	wantErr(t, err, "4- or 8-byte")
+}
+
+func TestDivModByZeroAccepted(t *testing.T) {
+	k := kernel.New()
+	// Unguarded division is legal; the runtime defines /0 and %0.
+	prog := asm.New().
+		Load(insn.R2, insn.R1, 0, 8).
+		MovImm(insn.R3, 100).
+		I(insn.Alu64Reg(insn.AluDiv, insn.R3, insn.R2)).
+		I(insn.Alu64Reg(insn.AluMod, insn.R3, insn.R2)).
+		Mov(insn.R0, insn.R3).
+		Exit().
+		MustAssemble()
+	if _, err := Verify(prog, ebpfCfg(k)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,451 @@
+// Package vm executes instrumented KFlex bytecode: it is the analogue of
+// the eBPF JIT plus the KFlex runtime (§3 step 3, §4.2–§4.3 of the paper).
+// Kie's internal opcodes lower to single dispatch steps (the paper lowers
+// them to one or two hardware instructions), heap accesses go through the
+// extension heap with demand paging, faults become extension cancellations
+// that release held kernel objects and return the hook's default code, and
+// the *terminate word drives watchdog-initiated termination of unbounded
+// loops.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"kflex/insn"
+	"kflex/internal/heap"
+	"kflex/internal/kernel"
+	"kflex/internal/kie"
+)
+
+// Synthetic address-space windows for non-heap memory visible to extensions.
+const (
+	stackVABase = 0xffffb00000000000
+	ctxVABase   = 0xffffb10000000000
+	pinVABase   = 0xffff990000000000
+	pinStride   = 1 << 12
+)
+
+// StackSize is the extension stack size, matching the verifier.
+const StackSize = 512
+
+// CancelKind classifies why an invocation was cancelled.
+type CancelKind int
+
+const (
+	// CancelNone: the invocation completed normally.
+	CancelNone CancelKind = iota
+	// CancelTerminate: a *terminate probe faulted (watchdog/quantum
+	// expiry or explicit Cancel; class-1, §3.3).
+	CancelTerminate
+	// CancelFault: a heap access faulted (unmapped page, guard zone, or
+	// a performance-mode wild read; class-2, §3.3/§4.2).
+	CancelFault
+	// CancelLock: a spin-lock acquisition was abandoned because the
+	// program was cancelled while spinning (§3.4).
+	CancelLock
+)
+
+func (k CancelKind) String() string {
+	switch k {
+	case CancelNone:
+		return "none"
+	case CancelTerminate:
+		return "terminate-probe"
+	case CancelFault:
+		return "heap-fault"
+	case CancelLock:
+		return "lock-spin"
+	}
+	return "?"
+}
+
+// Stats counts work done by one invocation.
+type Stats struct {
+	Insns       uint64
+	Guards      uint64 // guard instructions executed
+	GuardsRead  uint64 // of which read guards (skipped in perf mode)
+	Probes      uint64 // terminate probes executed
+	HelperCalls uint64
+}
+
+// Result describes one completed invocation.
+type Result struct {
+	Ret       uint64
+	Cancelled CancelKind
+	Stats     Stats
+}
+
+// Options configure a loaded program.
+type Options struct {
+	Hook   *kernel.Hook
+	Kernel *kernel.Kernel
+	// Heap is the extension heap; nil for eBPF-compat programs.
+	Heap *heap.Heap
+	// Alloc backs kflex_malloc/kflex_free.
+	Alloc kernel.Allocator
+	// Lock backs the spin-lock helpers.
+	Lock kernel.Locker
+	// PerfMode skips read guards (§3.2). Wild reads then fault on
+	// non-heap addresses (the SMAP analogue, §4.2) and cancel.
+	PerfMode bool
+	// QuantumInsns bounds one invocation's instruction count; exceeding
+	// it makes the next terminate probe fault. Zero disables the
+	// deterministic quantum (the wall-clock watchdog remains available
+	// via Cancel).
+	QuantumInsns uint64
+	// Callback optionally adjusts the return code of a cancelled
+	// invocation (§4.3). It must have been verified with ScalarR1 and
+	// without cancellation points.
+	Callback *Program
+	// LocalCancel scopes cancellations to the faulting invocation
+	// instead of unloading the extension on every CPU — §4.3 notes this
+	// as future work; the default matches the paper's policy of not
+	// re-running buggy extensions.
+	LocalCancel bool
+}
+
+// Program is a loaded, instrumented extension ready to run.
+type Program struct {
+	insns []insn.Instruction
+	opts  Options
+	cps   []kie.CP
+
+	// terminate is the address the probe dereferences. While valid it
+	// points at the heap's reserved word; cancellation swaps in an
+	// unmapped address so the next probe faults (§3.3).
+	terminate atomic.Uint64
+	unloaded  atomic.Bool
+	cancels   atomic.Uint64
+}
+
+// TerminateWordOff is the heap offset reserved for the terminate word.
+const TerminateWordOff = 0
+
+// ErrUnloaded is returned when running a program that was unloaded after a
+// cancellation (§4.3: a cancellation on one CPU terminates the extension on
+// all CPUs and unloads it).
+var ErrUnloaded = errors.New("vm: extension was cancelled and unloaded")
+
+// New loads an instrumented program.
+func New(rep *kie.Report, opts Options) (*Program, error) {
+	if opts.Kernel == nil || opts.Hook == nil {
+		return nil, fmt.Errorf("vm: Kernel and Hook are required")
+	}
+	p := &Program{insns: rep.Prog, opts: opts, cps: rep.CPs}
+	if opts.Heap != nil {
+		// Reserve and back the terminate word so probes are valid
+		// loads until cancellation invalidates the address.
+		if err := opts.Heap.Populate(TerminateWordOff, 8); err != nil {
+			return nil, err
+		}
+		p.terminate.Store(opts.Heap.ExtBase() + TerminateWordOff)
+	}
+	return p, nil
+}
+
+// Insns returns the instrumented instruction stream.
+func (p *Program) Insns() []insn.Instruction { return p.insns }
+
+// CPs returns the program's cancellation points.
+func (p *Program) CPs() []kie.CP { return p.cps }
+
+// Heap returns the program's extension heap (nil for eBPF programs).
+func (p *Program) Heap() *heap.Heap { return p.opts.Heap }
+
+// Cancel invalidates the terminate word: every CPU currently executing the
+// program faults at its next probe, and future invocations fail with
+// ErrUnloaded once a cancellation has completed.
+func (p *Program) Cancel() {
+	p.terminate.Store(0)
+}
+
+// Unloaded reports whether a cancellation has unloaded the program.
+func (p *Program) Unloaded() bool { return p.unloaded.Load() }
+
+// Cancels returns the number of cancellations that occurred.
+func (p *Program) Cancels() uint64 { return p.cancels.Load() }
+
+// heldRef is a kernel object acquired and not yet released.
+type heldRef struct {
+	site int
+	obj  *kernel.Object
+	ptr  uint64
+}
+
+// Exec is a per-CPU execution context; reuse one per worker and call Run
+// per event. An Exec must not be used concurrently.
+type Exec struct {
+	prog  *Program
+	cpu   int
+	regs  [insn.NumRegs]uint64
+	stack [StackSize]byte
+	ctx   []byte
+	event any
+
+	held []heldRef
+	pins [][]byte
+
+	xlatVal   uint64
+	xlatArmed bool
+
+	// startNS is the wall-clock start of the in-flight invocation
+	// (0 when idle); the watchdog polls it (§4.3).
+	startNS atomic.Int64
+
+	stats Stats
+	hc    kernel.HelperCtx
+
+	extView heap.View
+	hasHeap bool
+}
+
+// NewExec creates an execution context bound to simulated CPU cpu.
+func (p *Program) NewExec(cpu int) *Exec {
+	e := &Exec{prog: p, cpu: cpu}
+	if p.opts.Heap != nil {
+		e.extView = p.opts.Heap.ExtView()
+		e.hasHeap = true
+	}
+	e.hc = kernel.HelperCtx{
+		Kernel: p.opts.Kernel,
+		CPU:    cpu,
+		Alloc:  p.opts.Alloc,
+		Lock:   p.opts.Lock,
+		Hold: func(site int, obj *kernel.Object, ptr uint64) {
+			e.held = append(e.held, heldRef{site: site, obj: obj, ptr: ptr})
+		},
+		Unhold: func(ptr uint64) *kernel.Object {
+			for i := len(e.held) - 1; i >= 0; i-- {
+				if e.held[i].ptr == ptr {
+					obj := e.held[i].obj
+					e.held = append(e.held[:i], e.held[i+1:]...)
+					return obj
+				}
+			}
+			return nil
+		},
+		Read: func(addr uint64, n int) ([]byte, error) {
+			out := make([]byte, n)
+			for i := 0; i < n; i++ {
+				b, err := e.load(addr+uint64(i), 1)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = byte(b)
+			}
+			return out, nil
+		},
+		Write: func(addr uint64, pbytes []byte) error {
+			for i, b := range pbytes {
+				if err := e.store(addr+uint64(i), 1, uint64(b)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		PinValue: func(val []byte) uint64 {
+			e.pins = append(e.pins, val)
+			return pinVABase + uint64(len(e.pins)-1)*pinStride
+		},
+		Cancelled: func() bool {
+			return p.terminate.Load() == 0 ||
+				(p.opts.QuantumInsns > 0 && e.stats.Insns > p.opts.QuantumInsns)
+		},
+	}
+	if p.opts.Heap != nil {
+		e.hc.Heap = &e.extView
+	}
+	return e
+}
+
+// cancelError aborts execution for cancellation.
+type cancelError struct {
+	kind CancelKind
+	at   int
+}
+
+func (c *cancelError) Error() string {
+	return fmt.Sprintf("vm: cancelled (%s) at insn %d", c.kind, c.at)
+}
+
+// Run executes the program on an event. ctxBytes is the hook context
+// structure (its length must match the hook's CtxSize).
+func (e *Exec) Run(event any, ctxBytes []byte) (Result, error) {
+	p := e.prog
+	if p.unloaded.Load() {
+		return Result{}, ErrUnloaded
+	}
+	if len(ctxBytes) != p.opts.Hook.CtxSize {
+		return Result{}, fmt.Errorf("vm: ctx size %d, hook %s wants %d",
+			len(ctxBytes), p.opts.Hook.Name, p.opts.Hook.CtxSize)
+	}
+	e.ctx = ctxBytes
+	e.event = event
+	e.hc.Event = event
+	e.held = e.held[:0]
+	e.pins = e.pins[:0]
+	e.xlatArmed = false
+	e.stats = Stats{}
+	e.regs[insn.R1] = ctxVABase
+	e.regs[insn.R10] = stackVABase + StackSize
+
+	e.startNS.Store(nowNS())
+	defer e.startNS.Store(0)
+	ret, err := e.loop()
+	if err == nil {
+		if len(e.held) != 0 {
+			// Verified programs release everything; reaching this
+			// point means a verifier/runtime bug.
+			e.releaseHeld()
+			return Result{}, fmt.Errorf("vm: internal: %d references leaked past exit", len(e.held))
+		}
+		return Result{Ret: ret, Stats: e.stats}, nil
+	}
+	var cancel *cancelError
+	if errors.As(err, &cancel) {
+		return e.doCancel(cancel)
+	}
+	e.releaseHeld()
+	return Result{}, err
+}
+
+// doCancel implements extension cancellation (§3.3): release acquired
+// kernel objects, compute the default return code (optionally adjusted by
+// the callback), and unload the extension (§4.3 cancellation scope).
+func (e *Exec) doCancel(c *cancelError) (Result, error) {
+	p := e.prog
+	e.releaseHeld()
+	p.cancels.Add(1)
+	if !p.opts.LocalCancel {
+		p.unloaded.Store(true)
+		p.terminate.Store(0) // terminate the extension on all CPUs
+	}
+	ret := p.opts.Hook.DefaultRet
+	if cb := p.opts.Callback; cb != nil {
+		cbExec := cb.NewExec(e.cpu)
+		// The callback receives the default code in R1 (ScalarR1
+		// verification) and returns the adjusted code.
+		res, err := cbExec.runCallback(ret)
+		if err == nil {
+			ret = res
+		}
+	}
+	return Result{Ret: ret, Cancelled: c.kind, Stats: e.stats}, nil
+}
+
+// runCallback executes a restricted callback program with R1 = code.
+func (e *Exec) runCallback(code uint64) (uint64, error) {
+	e.held = e.held[:0]
+	e.pins = e.pins[:0]
+	e.stats = Stats{}
+	e.regs[insn.R1] = code
+	e.regs[insn.R10] = stackVABase + StackSize
+	return e.loop()
+}
+
+func (e *Exec) releaseHeld() {
+	// Release in LIFO order, mirroring the runtime's object-table walk.
+	for i := len(e.held) - 1; i >= 0; i-- {
+		e.held[i].obj.Put()
+	}
+	e.held = e.held[:0]
+}
+
+// fault converts a heap fault into a cancellation (class-2 CPs) and any
+// other memory error into a hard error.
+func (e *Exec) fault(pc int, err error) error {
+	var hf *heap.Fault
+	if errors.As(err, &hf) && e.hasHeap {
+		return &cancelError{kind: CancelFault, at: pc}
+	}
+	return fmt.Errorf("vm: insn %d: %w", pc, err)
+}
+
+// load reads extension-visible memory at a virtual address.
+func (e *Exec) load(addr uint64, size int) (uint64, error) {
+	if e.hasHeap && e.extView.Contains(addr) {
+		return e.extView.Load(addr, size)
+	}
+	if off := addr - stackVABase; off < StackSize {
+		if off+uint64(size) > StackSize {
+			return 0, fmt.Errorf("stack load out of frame at %#x", addr)
+		}
+		return leLoad(e.stack[off:], size), nil
+	}
+	if off := addr - ctxVABase; off < uint64(len(e.ctx)) {
+		if off+uint64(size) > uint64(len(e.ctx)) {
+			return 0, fmt.Errorf("ctx load out of bounds at %#x", addr)
+		}
+		return leLoad(e.ctx[off:], size), nil
+	}
+	if idx := (addr - pinVABase) / pinStride; addr >= pinVABase && int(idx) < len(e.pins) {
+		buf := e.pins[idx]
+		off := (addr - pinVABase) % pinStride
+		if off+uint64(size) > uint64(len(buf)) {
+			return 0, fmt.Errorf("map value load out of bounds at %#x", addr)
+		}
+		return leLoad(buf[off:], size), nil
+	}
+	if addr >= kernel.ObjVABase {
+		return 0, nil // kernel object window reads as zero
+	}
+	// A wild address outside every region: performance-mode unguarded
+	// reads land here and trap (SMAP analogue, §4.2).
+	return 0, &heap.Fault{Addr: addr, Kind: heap.FaultOOB}
+}
+
+func (e *Exec) store(addr uint64, size int, val uint64) error {
+	if e.hasHeap && e.extView.Contains(addr) {
+		return e.extView.Store(addr, size, val)
+	}
+	if off := addr - stackVABase; off < StackSize {
+		if off+uint64(size) > StackSize {
+			return fmt.Errorf("stack store out of frame at %#x", addr)
+		}
+		leStore(e.stack[off:], size, val)
+		return nil
+	}
+	if off := addr - ctxVABase; off < uint64(len(e.ctx)) {
+		if off+uint64(size) > uint64(len(e.ctx)) {
+			return fmt.Errorf("ctx store out of bounds at %#x", addr)
+		}
+		leStore(e.ctx[off:], size, val)
+		return nil
+	}
+	if idx := (addr - pinVABase) / pinStride; addr >= pinVABase && int(idx) < len(e.pins) {
+		buf := e.pins[idx]
+		off := (addr - pinVABase) % pinStride
+		if off+uint64(size) > uint64(len(buf)) {
+			return fmt.Errorf("map value store out of bounds at %#x", addr)
+		}
+		leStore(buf[off:], size, val)
+		return nil
+	}
+	return &heap.Fault{Addr: addr, Kind: heap.FaultOOB}
+}
+
+// RunningSinceNS returns the UnixNano start time of the in-flight
+// invocation, or false when the Exec is idle.
+func (e *Exec) RunningSinceNS() (int64, bool) {
+	t := e.startNS.Load()
+	return t, t != 0
+}
+
+func nowNS() int64 { return time.Now().UnixNano() }
+
+func leLoad(b []byte, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func leStore(b []byte, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

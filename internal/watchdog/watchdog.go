@@ -1,0 +1,120 @@
+// Package watchdog implements KFlex's passive execution-duration monitoring
+// (§4.3 of the paper). The kernel implementation piggybacks on Linux's
+// softlockup and hardlockup watchdogs to detect stalled interruptible and
+// non-interruptible extensions, plus a background task for sleepable ones;
+// here a single background goroutine polls in-flight invocations and
+// invalidates the program's terminate word when one exceeds its quantum, so
+// the extension faults at its next cancellation point.
+package watchdog
+
+import (
+	"sync"
+	"time"
+
+	"kflex/internal/vm"
+)
+
+// Target is one monitored extension: the program and the execution
+// contexts running it.
+type Target struct {
+	Prog  *vm.Program
+	Execs []*vm.Exec
+}
+
+// Watchdog monitors extensions for stalls.
+type Watchdog struct {
+	quantum  time.Duration
+	interval time.Duration
+
+	mu      sync.Mutex
+	targets []Target
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	fired   int
+}
+
+// New creates a watchdog that cancels extensions running longer than
+// quantum, polling every interval. The paper's watchdogs operate at
+// second granularity (§4.3, with sub-second sampling left as future work);
+// tests use shorter quanta.
+func New(quantum, interval time.Duration) *Watchdog {
+	return &Watchdog{quantum: quantum, interval: interval}
+}
+
+// Watch registers an extension for monitoring.
+func (w *Watchdog) Watch(t Target) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.targets = append(w.targets, t)
+}
+
+// Fired returns how many cancellations the watchdog initiated.
+func (w *Watchdog) Fired() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fired
+}
+
+// Start launches the monitoring goroutine.
+func (w *Watchdog) Start() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	w.stop = stop
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		tick := time.NewTicker(w.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				w.scan()
+			}
+		}
+	}()
+}
+
+// Stop halts monitoring.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	if w.stop == nil {
+		w.mu.Unlock()
+		return
+	}
+	stop := w.stop
+	w.stop = nil
+	w.mu.Unlock()
+	close(stop)
+	w.wg.Wait()
+}
+
+func (w *Watchdog) scan() {
+	now := time.Now().UnixNano()
+	w.mu.Lock()
+	targets := append([]Target(nil), w.targets...)
+	w.mu.Unlock()
+	for _, t := range targets {
+		for _, e := range t.Execs {
+			start, running := e.RunningSinceNS()
+			if !running {
+				continue
+			}
+			if time.Duration(now-start) > w.quantum {
+				// Stall detected: invalidate the terminate word.
+				// The extension faults at its next C1 probe (or
+				// abandons a lock spin) and unwinds (§3.3).
+				t.Prog.Cancel()
+				w.mu.Lock()
+				w.fired++
+				w.mu.Unlock()
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package watchdog
+
+import (
+	"testing"
+	"time"
+
+	"kflex/asm"
+	"kflex/insn"
+	"kflex/internal/heap"
+	"kflex/internal/kernel"
+	"kflex/internal/kie"
+	"kflex/internal/verifier"
+	"kflex/internal/vm"
+)
+
+func spinningProgram(t *testing.T) *vm.Program {
+	t.Helper()
+	k := kernel.New()
+	prog := asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R6, insn.R0).
+		Label("spin").
+		Load(insn.R2, insn.R6, 64, 8).
+		Ja("spin").
+		MustAssemble()
+	an, err := verifier.Verify(prog, verifier.Config{
+		Mode: verifier.ModeKFlex, Hook: kernel.HookBench, Kernel: k, HeapSize: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := kie.Instrument(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := heap.New(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := vm.New(rep, vm.Options{Hook: kernel.HookBench, Kernel: k, Heap: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	p := spinningProgram(t)
+	e := p.NewExec(0)
+	w := New(10*time.Millisecond, 2*time.Millisecond)
+	w.Watch(Target{Prog: p, Execs: []*vm.Exec{e}})
+	w.Start()
+	defer w.Stop()
+
+	start := time.Now()
+	res, err := e.Run(nil, make([]byte, kernel.HookBench.CtxSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled != vm.CancelTerminate {
+		t.Fatalf("cancelled = %v", res.Cancelled)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("took %v", elapsed)
+	}
+	if w.Fired() == 0 {
+		t.Fatal("watchdog reports no firings")
+	}
+}
+
+func TestWatchdogIgnoresIdleAndFast(t *testing.T) {
+	k := kernel.New()
+	prog := asm.New().Ret(0).MustAssemble()
+	an, err := verifier.Verify(prog, verifier.Config{
+		Mode: verifier.ModeEBPF, Hook: kernel.HookBench, Kernel: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := kie.Instrument(an)
+	p, err := vm.New(rep, vm.Options{Hook: kernel.HookBench, Kernel: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.NewExec(0)
+	w := New(5*time.Millisecond, time.Millisecond)
+	w.Watch(Target{Prog: p, Execs: []*vm.Exec{e}})
+	w.Start()
+	defer w.Stop()
+	for i := 0; i < 100; i++ {
+		if _, err := e.Run(nil, make([]byte, kernel.HookBench.CtxSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(15 * time.Millisecond)
+	if w.Fired() != 0 {
+		t.Fatalf("watchdog fired %d times on fast invocations", w.Fired())
+	}
+	if p.Unloaded() {
+		t.Fatal("healthy extension unloaded")
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	w := New(time.Second, time.Millisecond)
+	w.Start()
+	w.Start()
+	w.Stop()
+	w.Stop()
+}

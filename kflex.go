@@ -1,0 +1,431 @@
+// Package kflex is a userspace implementation of KFlex, the kernel
+// extension framework of "Fast, Flexible, and Practical Kernel Extensions"
+// (SOSP 2024). KFlex separates extension safety into two sub-properties and
+// enforces each with a bespoke mechanism:
+//
+//   - kernel-interface compliance — accesses to kernel-owned resources —
+//     is enforced by static bytecode verification (the eBPF model);
+//   - extension correctness — memory safety within the extension's own
+//     heap and guaranteed termination — is enforced by lightweight runtime
+//     checks: SFI address sanitization co-designed with the verifier's
+//     range analysis, and extension cancellations driven by *terminate
+//     probes and per-cancellation-point object tables.
+//
+// The package wires the full pipeline of the paper's Figure 1: programs
+// (written against kflex/asm and kflex/insn) are verified, instrumented by
+// the Kie engine, and executed by a runtime that provides extension heaps,
+// the KFlex memory allocator, queue-based spin locks, watchdog-driven
+// cancellation, and transparent heap sharing with user space.
+//
+// A minimal end-to-end use:
+//
+//	rt := kflex.NewRuntime()
+//	ext, err := rt.Load(kflex.Spec{
+//		Name:     "hello",
+//		Insns:    prog,                // built with kflex/asm
+//		Hook:     kflex.HookBench,
+//		Mode:     kflex.ModeKFlex,
+//		HeapSize: 1 << 20,
+//	})
+//	h := ext.Handle(0)
+//	res, err := h.Run(nil, make([]byte, kflex.HookBench.CtxSize))
+package kflex
+
+import (
+	"fmt"
+	"time"
+
+	"kflex/insn"
+	"kflex/internal/alloc"
+	"kflex/internal/heap"
+	"kflex/internal/kernel"
+	"kflex/internal/kie"
+	"kflex/internal/locks"
+	"kflex/internal/maps"
+	"kflex/internal/verifier"
+	"kflex/internal/vm"
+	"kflex/internal/watchdog"
+)
+
+// Mode selects how an extension is verified and executed.
+type Mode int
+
+const (
+	// ModeEBPF verifies and runs the program as a vanilla eBPF extension:
+	// no extension heap, provable termination required, single lock.
+	// Existing eBPF extensions load unmodified (§3: backward compatible).
+	ModeEBPF Mode = iota
+	// ModeKFlex enables the KFlex runtime: extension heaps with SFI,
+	// unbounded loops with cancellation, multiple locks, the Table 2 API.
+	ModeKFlex
+)
+
+// Re-exported hook definitions (see kernel package for layouts).
+var (
+	HookXDP   = kernel.HookXDP
+	HookSkSkb = kernel.HookSkSkb
+	HookLSM   = kernel.HookLSM
+	HookBench = kernel.HookBench
+)
+
+// Result is the outcome of one extension invocation.
+type Result = vm.Result
+
+// CancelKind re-exports the cancellation cause classification.
+type CancelKind = vm.CancelKind
+
+// Cancellation causes.
+const (
+	CancelNone      = vm.CancelNone
+	CancelTerminate = vm.CancelTerminate
+	CancelFault     = vm.CancelFault
+	CancelLock      = vm.CancelLock
+)
+
+// ErrUnloaded is returned when invoking an extension that was cancelled and
+// unloaded (§4.3).
+var ErrUnloaded = vm.ErrUnloaded
+
+// Spec describes an extension to load.
+type Spec struct {
+	// Name labels the extension in errors and reports.
+	Name string
+	// Insns is the extension bytecode (kflex/asm builds it; kflex/insn
+	// Decode accepts eBPF wire format).
+	Insns []insn.Instruction
+	// Hook is the attachment point; it defines the context layout and
+	// the default return code used on cancellation.
+	Hook *kernel.Hook
+	// Mode selects eBPF-compat or KFlex verification and runtime.
+	Mode Mode
+	// HeapSize declares the extension heap in bytes (power of two);
+	// the kflex_heap(size) macro of Table 2. Zero means no heap
+	// (required for ModeEBPF).
+	HeapSize uint64
+	// ShareHeap maps the heap into user space and enables
+	// translate-on-store so applications walk extension data structures
+	// through ordinary pointers (§3.4).
+	ShareHeap bool
+	// PerfMode trades confidentiality for speed: read accesses are not
+	// sanitized; stray reads trap and cancel (§3.2, §4.2).
+	PerfMode bool
+	// QuantumInsns is a deterministic per-invocation instruction budget
+	// enforced at cancellation probes; zero relies on the wall-clock
+	// watchdog only.
+	QuantumInsns uint64
+	// Callback optionally post-processes the return code of a cancelled
+	// invocation (§4.3). It is verified under callback restrictions: no
+	// heap access, no unbounded loops.
+	Callback []insn.Instruction
+	// NumCPUs sizes per-CPU allocator caches (default 8). Handle CPU
+	// indices should stay below it.
+	NumCPUs int
+	// InsnBudget overrides the verifier's work budget (0 = default).
+	InsnBudget int
+	// DisableElision forces an SFI guard on every heap access, ignoring
+	// the range analysis — the §5.4 ablation baseline.
+	DisableElision bool
+	// LocalCancel scopes a cancellation to the faulting invocation
+	// rather than unloading the extension on every CPU (§4.3 lists this
+	// as future work; the paper's default policy unloads).
+	LocalCancel bool
+}
+
+// Runtime is the simulated kernel environment extensions load into.
+type Runtime struct {
+	kern *kernel.Kernel
+}
+
+// NewRuntime creates a runtime with the base helper set registered.
+func NewRuntime() *Runtime {
+	return &Runtime{kern: kernel.New()}
+}
+
+// Kernel exposes the underlying kernel instance (helper registration for
+// hook-specific helpers, map registration, clock control).
+func (r *Runtime) Kernel() *kernel.Kernel { return r.kern }
+
+// NewArrayMap registers an eBPF array map under id.
+func (r *Runtime) NewArrayMap(id int32, entries, valueSize int) (*maps.Array, error) {
+	m, err := maps.NewArray(entries, valueSize)
+	if err != nil {
+		return nil, err
+	}
+	return m, r.kern.AddMap(id, m)
+}
+
+// NewHashMap registers an eBPF hash map under id.
+func (r *Runtime) NewHashMap(id int32, maxEntries, keySize, valueSize int) (*maps.Hash, error) {
+	m, err := maps.NewHash(maxEntries, keySize, valueSize)
+	if err != nil {
+		return nil, err
+	}
+	return m, r.kern.AddMap(id, m)
+}
+
+// NewLRUMap registers an eBPF LRU hash map under id.
+func (r *Runtime) NewLRUMap(id int32, capacity, keySize, valueSize int) (*maps.LRU, error) {
+	m, err := maps.NewLRU(capacity, keySize, valueSize)
+	if err != nil {
+		return nil, err
+	}
+	return m, r.kern.AddMap(id, m)
+}
+
+// Extension is a loaded, instrumented, runnable extension.
+type Extension struct {
+	name     string
+	rt       *Runtime
+	prog     *vm.Program
+	heap     *heap.Heap
+	alloc    *alloc.Allocator
+	extLocks *locks.Locks
+	report   *kie.Report
+	analysis *verifier.Analysis
+	numCPUs  int
+
+	handles []*Handle
+	wd      *watchdog.Watchdog
+}
+
+// Load verifies, instruments, and loads an extension (Figure 1's three
+// steps: verification of kernel-interface compliance, Kie instrumentation,
+// and runtime preparation).
+func (r *Runtime) Load(spec Spec) (*Extension, error) {
+	if spec.Hook == nil {
+		return nil, fmt.Errorf("kflex: %s: Spec.Hook is required", spec.Name)
+	}
+	if spec.Mode == ModeEBPF && spec.HeapSize != 0 {
+		return nil, fmt.Errorf("kflex: %s: heaps require ModeKFlex", spec.Name)
+	}
+	if spec.NumCPUs <= 0 {
+		spec.NumCPUs = 8
+	}
+
+	vmode := verifier.ModeEBPF
+	if spec.Mode == ModeKFlex {
+		vmode = verifier.ModeKFlex
+	}
+	an, err := verifier.Verify(spec.Insns, verifier.Config{
+		Mode:       vmode,
+		Hook:       spec.Hook,
+		Kernel:     r.kern,
+		HeapSize:   spec.HeapSize,
+		ShareHeap:  spec.ShareHeap,
+		PerfMode:   spec.PerfMode,
+		InsnBudget: spec.InsnBudget,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kflex: %s: %w", spec.Name, err)
+	}
+	if spec.DisableElision {
+		for i := range an.Facts {
+			if an.Facts[i].HeapAccess {
+				an.Facts[i].Guard = true
+			}
+		}
+	}
+	rep, err := kie.Instrument(an)
+	if err != nil {
+		return nil, fmt.Errorf("kflex: %s: %w", spec.Name, err)
+	}
+
+	ext := &Extension{
+		name:     spec.Name,
+		rt:       r,
+		report:   rep,
+		analysis: an,
+		numCPUs:  spec.NumCPUs,
+	}
+	opts := vm.Options{
+		Hook:         spec.Hook,
+		Kernel:       r.kern,
+		PerfMode:     spec.PerfMode,
+		QuantumInsns: spec.QuantumInsns,
+		LocalCancel:  spec.LocalCancel,
+	}
+	if spec.HeapSize > 0 {
+		h, err := heap.New(spec.HeapSize)
+		if err != nil {
+			return nil, fmt.Errorf("kflex: %s: %w", spec.Name, err)
+		}
+		ext.heap = h
+		// One extra allocator CPU slot serves user-space allocations
+		// for co-designed applications (§5.3).
+		ext.alloc = alloc.New(h, spec.NumCPUs+1)
+		ext.extLocks = locks.New(h.ExtView())
+		opts.Heap = h
+		opts.Alloc = ext.alloc
+		opts.Lock = ext.extLocks
+	}
+	if len(spec.Callback) > 0 {
+		cb, err := r.loadCallback(spec)
+		if err != nil {
+			return nil, err
+		}
+		opts.Callback = cb
+	}
+	prog, err := vm.New(rep, opts)
+	if err != nil {
+		return nil, fmt.Errorf("kflex: %s: %w", spec.Name, err)
+	}
+	ext.prog = prog
+	return ext, nil
+}
+
+// loadCallback verifies a cancellation callback under its restrictions
+// (§4.3: no cancellation points, no unbounded loops) and compiles it.
+func (r *Runtime) loadCallback(spec Spec) (*vm.Program, error) {
+	an, err := verifier.Verify(spec.Callback, verifier.Config{
+		Mode:     verifier.ModeEBPF,
+		Kernel:   r.kern,
+		ScalarR1: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kflex: %s: callback: %w", spec.Name, err)
+	}
+	rep, err := kie.Instrument(an)
+	if err != nil {
+		return nil, fmt.Errorf("kflex: %s: callback: %w", spec.Name, err)
+	}
+	return vm.New(rep, vm.Options{Hook: spec.Hook, Kernel: r.kern})
+}
+
+// Handle returns an execution handle bound to simulated CPU cpu. Handles
+// are not safe for concurrent use; create one per worker.
+func (e *Extension) Handle(cpu int) *Handle {
+	h := &Handle{exec: e.prog.NewExec(cpu), ext: e}
+	e.handles = append(e.handles, h)
+	return h
+}
+
+// Handle runs extension invocations on one simulated CPU.
+type Handle struct {
+	exec *vm.Exec
+	ext  *Extension
+}
+
+// Run invokes the extension for one event. ctx must match the hook's
+// context size; event is the hook-specific payload (e.g. a packet).
+func (h *Handle) Run(event any, ctx []byte) (Result, error) {
+	return h.exec.Run(event, ctx)
+}
+
+// Report returns the Kie instrumentation report (guard/elision statistics,
+// cancellation points, object tables).
+func (e *Extension) Report() *kie.Report { return e.report }
+
+// Analysis returns the verifier's analysis.
+func (e *Extension) Analysis() *verifier.Analysis { return e.analysis }
+
+// Heap returns the extension heap (nil without one).
+func (e *Extension) Heap() *heap.Heap { return e.heap }
+
+// Alloc returns the KFlex memory allocator (nil without a heap).
+func (e *Extension) Alloc() *alloc.Allocator { return e.alloc }
+
+// Cancel requests cancellation: running invocations fault at their next
+// cancellation point, release held kernel objects, and the extension
+// unloads (§3.3, §4.3).
+func (e *Extension) Cancel() { e.prog.Cancel() }
+
+// Unloaded reports whether the extension was cancelled and unloaded.
+func (e *Extension) Unloaded() bool { return e.prog.Unloaded() }
+
+// Cancels returns the number of completed cancellations.
+func (e *Extension) Cancels() uint64 { return e.prog.Cancels() }
+
+// StartWatchdog begins wall-clock stall monitoring with the given quantum
+// (§4.3; the paper's lockup watchdogs operate at second granularity).
+func (e *Extension) StartWatchdog(quantum, poll time.Duration) {
+	if e.wd != nil {
+		return
+	}
+	execs := make([]*vm.Exec, 0, len(e.handles))
+	for _, h := range e.handles {
+		execs = append(execs, h.exec)
+	}
+	e.wd = watchdog.New(quantum, poll)
+	e.wd.Watch(watchdog.Target{Prog: e.prog, Execs: execs})
+	e.wd.Start()
+}
+
+// StopWatchdog halts stall monitoring.
+func (e *Extension) StopWatchdog() {
+	if e.wd != nil {
+		e.wd.Stop()
+		e.wd = nil
+	}
+}
+
+// Close releases the extension's resources. The heap is destroyed here —
+// after cancellation it intentionally outlives the extension so user-space
+// mappings keep working until the owner closes it (§3.4).
+func (e *Extension) Close() {
+	e.StopWatchdog()
+	if e.alloc != nil {
+		e.alloc.StopRefiller()
+	}
+	if e.heap != nil {
+		e.heap.Close()
+	}
+}
+
+// --- User-space co-design surface (§3.4, §5.3) --------------------------------
+
+// UserView returns the user-space mapping of the extension heap for
+// co-designed applications. With ShareHeap, pointers the extension stores
+// are already user VAs (translate-on-store), so user code dereferences them
+// directly.
+func (e *Extension) UserView() (heap.View, error) {
+	if e.heap == nil {
+		return heap.View{}, fmt.Errorf("kflex: %s has no heap", e.name)
+	}
+	return e.heap.UserView(), nil
+}
+
+// UserLocks returns spin-lock operations over the user mapping, for
+// synchronizing with the extension through shared locks.
+func (e *Extension) UserLocks() (*locks.Locks, error) {
+	if e.heap == nil {
+		return nil, fmt.Errorf("kflex: %s has no heap", e.name)
+	}
+	return locks.New(e.heap.UserView()), nil
+}
+
+// UserMalloc allocates extension-heap memory on behalf of user-space code
+// and returns its user VA (the paper implements the allocator backend in
+// user space; co-designed applications allocate from the same pool, §4.1).
+func (e *Extension) UserMalloc(size uint64) (uint64, error) {
+	if e.alloc == nil {
+		return 0, fmt.Errorf("kflex: %s has no heap", e.name)
+	}
+	addr := e.alloc.Malloc(e.numCPUs, size)
+	if addr == 0 {
+		return 0, fmt.Errorf("kflex: %s: heap exhausted", e.name)
+	}
+	return e.heap.TranslateToUser(addr), nil
+}
+
+// UserFree releases a block by its user VA.
+func (e *Extension) UserFree(userAddr uint64) error {
+	if e.alloc == nil {
+		return fmt.Errorf("kflex: %s has no heap", e.name)
+	}
+	return e.alloc.Free(e.numCPUs, e.heap.TranslateToExt(userAddr))
+}
+
+// GlobalsBase returns the extension VA of the reserved globals area in the
+// heap's first page (after the terminate word), where extensions keep
+// static state such as list heads and locks.
+func (e *Extension) GlobalsBase() (uint64, error) {
+	if e.heap == nil {
+		return 0, fmt.Errorf("kflex: %s has no heap", e.name)
+	}
+	return e.heap.ExtBase() + GlobalsOff, nil
+}
+
+// GlobalsOff is the heap offset of the extension-globals area; the first
+// page is runtime-reserved (terminate word at offset 0) and allocations
+// start at the next page.
+const GlobalsOff = 64
