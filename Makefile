@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race chaos fuzz vet check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short-deadline chaos pass: the seeded fault-injection suite at the repo
+# root with a reduced request stream (-short), bounded by a hard timeout.
+chaos:
+	$(GO) test -short -race -run 'TestChaos' -timeout 120s .
+
+# Brief fuzz sessions for the instruction codec and disassembler.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzCodecRoundtrip -fuzztime=20s ./insn/
+	$(GO) test -run=NONE -fuzz=FuzzDisasm -fuzztime=20s ./insn/
+
+# The pre-merge gate: vet, build, the full test suite under the race
+# detector (includes the chaos suite), then the short chaos pass alone to
+# keep its deadline honest.
+check: vet build race chaos
+
+clean:
+	$(GO) clean -testcache

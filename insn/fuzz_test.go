@@ -1,0 +1,90 @@
+package insn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds are valid encoded programs covering the interesting encoder
+// paths: plain ALU, LDDW slot pairs, and branches whose offsets must be
+// rewritten between element and slot counting across an LDDW.
+func fuzzSeeds(f *testing.F) {
+	progs := [][]Instruction{
+		{Mov64Imm(R0, 1), Exit()},
+		{LoadImm(R1, 0xdeadbeefcafe), Mov64Reg(R0, R1), Exit()},
+		{JmpImm(JmpEq, R1, 0, 1), LoadImm(R2, 1<<40), Alu64Reg(AluAdd, R0, R2), Exit()},
+		{Ja(0), Exit()},
+		{LoadMem(R0, R1, -8, 4), StoreMem(R10, -16, R0, 8), Exit()},
+	}
+	for _, p := range progs {
+		raw, err := Encode(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, SlotSize))
+}
+
+// FuzzCodecRoundtrip checks encode/decode stability: any byte stream
+// Decode accepts must re-encode successfully, decode back to the same
+// instructions, and re-encode to identical bytes.
+func FuzzCodecRoundtrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		prog, err := Decode(raw)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		enc1, err := Encode(prog)
+		if err != nil {
+			t.Fatalf("Encode rejected Decode's output: %v", err)
+		}
+		prog2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("Decode rejected Encode's output: %v", err)
+		}
+		if !reflect.DeepEqual(prog, prog2) {
+			t.Fatalf("decode(encode(prog)) != prog:\n%s\nvs\n%s",
+				Disassemble(prog), Disassemble(prog2))
+		}
+		enc2, err := Encode(prog2)
+		if err != nil {
+			t.Fatalf("second Encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatal("encoding is not stable across a round trip")
+		}
+	})
+}
+
+// FuzzDisasm feeds arbitrary slot bytes — including register and opcode
+// encodings Decode would reject — straight into the disassembler, which
+// must render something (possibly "<invalid …>") without panicking.
+func FuzzDisasm(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		for i := 0; i+SlotSize <= len(raw); i += SlotSize {
+			b := raw[i : i+SlotSize]
+			ins := Instruction{
+				Op:    Opcode(b[0]),
+				Dst:   Reg(b[1] & 0x0f),
+				Src:   Reg(b[1] >> 4),
+				Off:   int16(binary.LittleEndian.Uint16(b[2:])),
+				Imm:   int32(binary.LittleEndian.Uint32(b[4:])),
+				Imm64: uint64(binary.LittleEndian.Uint32(b[4:])),
+			}
+			if ins.String() == "" {
+				t.Fatalf("slot %d disassembled to an empty string", i/SlotSize)
+			}
+		}
+		if prog, err := Decode(raw); err == nil {
+			if len(prog) > 0 && Disassemble(prog) == "" {
+				t.Fatal("Disassemble returned nothing for a non-empty program")
+			}
+		}
+	})
+}

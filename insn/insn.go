@@ -193,6 +193,8 @@ func SizeOf(n int) uint8 {
 	case 8:
 		return SizeDW
 	}
+	// Internal invariant: callers pass compile-time access widths (asm
+	// builders, instrumentation); decoded programs never reach here.
 	panic(fmt.Sprintf("insn: invalid access size %d", n))
 }
 

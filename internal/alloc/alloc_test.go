@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"kflex/internal/faultinject"
 	"kflex/internal/heap"
 )
 
@@ -213,5 +214,94 @@ func TestBackgroundRefiller(t *testing.T) {
 	time.Sleep(20 * time.Millisecond)
 	if a.Stats().Refills == 0 {
 		t.Error("refiller never ran")
+	}
+}
+
+// --- Fault-injection failure paths -------------------------------------------
+
+func TestInjectedAllocFailure(t *testing.T) {
+	a, _ := newAlloc(t, 1<<22, 1)
+	a.EnableTracking()
+	class, ok := classFor(64)
+	if !ok {
+		t.Fatal("64 bytes has no size class")
+	}
+	plan := faultinject.NewPlan(5).
+		FailNth(faultinject.AllocFail, uint64(class), 2).
+		FailNth(faultinject.AllocFail, hugeClass, 1)
+	a.SetFaultPlan(plan)
+	plan.Enable()
+
+	first := a.Malloc(0, 64)
+	if first == 0 {
+		t.Fatal("first allocation should precede the injected failure")
+	}
+	if addr := a.Malloc(0, 64); addr != 0 {
+		t.Fatalf("second allocation = %#x, want injected failure", addr)
+	}
+	if a.Malloc(0, 100_000) != 0 {
+		t.Fatal("huge allocation should fail on the first injected attempt")
+	}
+	// One-shot triggers are spent: allocation resumes.
+	third := a.Malloc(0, 64)
+	if third == 0 {
+		t.Fatal("allocation did not resume after the injected failures")
+	}
+	if err := a.Free(0, first); err != nil {
+		t.Fatal(err)
+	}
+	// Failed allocations must not disturb accounting.
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Injected() != 2 {
+		t.Fatalf("injected = %d, want 2", plan.Injected())
+	}
+}
+
+func TestExhaustionConsistency(t *testing.T) {
+	a, _ := newAlloc(t, heap.MinSize*16, 1) // 64 KiB heap
+	a.EnableTracking()
+	var live []uint64
+	for i := 0; i < 10_000; i++ {
+		addr := a.Malloc(0, 2048)
+		if addr == 0 {
+			break
+		}
+		live = append(live, addr)
+	}
+	if len(live) == 0 {
+		t.Fatal("no allocation succeeded")
+	}
+	// Genuine exhaustion: carved == free + live must still balance.
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatalf("after exhaustion: %v", err)
+	}
+	for _, addr := range live {
+		if err := a.Free(0, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatalf("after draining: %v", err)
+	}
+}
+
+func TestInjectedPopulateFailureDuringRefill(t *testing.T) {
+	a, _ := newAlloc(t, 1<<20, 1)
+	a.EnableTracking()
+	plan := faultinject.NewPlan(7).SetRate(faultinject.HeapPage, 1.0)
+	a.h.SetFaultPlan(plan)
+	plan.Enable()
+	// Every page populate fails: carving a fresh run is impossible.
+	if addr := a.Malloc(0, 64); addr != 0 {
+		t.Fatalf("malloc = %#x, want 0 under total populate failure", addr)
+	}
+	plan.Disarm()
+	if addr := a.Malloc(0, 64); addr == 0 {
+		t.Fatal("allocation did not recover once populate failures stopped")
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -22,12 +22,12 @@
 package memcached
 
 import (
-	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"kflex"
+	"kflex/internal/faultinject"
 	"kflex/internal/kernel"
 	"kflex/internal/maps"
 	"kflex/internal/netsim"
@@ -161,6 +161,15 @@ type Config struct {
 	Costs     netsim.PathCosts
 	// Preload fills every key before measuring.
 	Preload bool
+	// FaultPlan attaches deterministic fault injection to the KFlex
+	// variants' runtimes (chaos testing); nil in normal runs.
+	FaultPlan *faultinject.Plan
+	// LocalCancel scopes injected cancellations to single invocations so
+	// the server survives them (§4.3).
+	LocalCancel bool
+	// CancelThreshold auto-unloads the extension after this many
+	// cancellations; Serve then takes the user-space fallback path.
+	CancelThreshold uint64
 }
 
 // DefaultConfig mirrors §5.1 with 64 B values.
@@ -244,6 +253,9 @@ type BMC struct {
 	reply   []byte
 	// Hits and Misses count cache outcomes for reporting.
 	Hits, Misses uint64
+	// Errors counts extension invocations that failed outright; the
+	// request is then served on the user-space path like a miss.
+	Errors uint64
 }
 
 // BMCCacheEntries sizes the preallocated cache (BMC preallocates; it cannot
@@ -288,7 +300,14 @@ func (b *BMC) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Servic
 	if req.Op == workload.OpGet {
 		res, err := h.Run(pkt, pkt.XDPCtx(0))
 		if err != nil {
-			panic(fmt.Sprintf("bmc: %v", err))
+			// The hook failed outright (e.g. the extension was unloaded):
+			// serve on the user-space path, exactly like a cache miss.
+			b.Errors++
+			b.Misses++
+			t0 := time.Now()
+			b.reply = b.store.Handle(frame, b.reply)
+			work := float64(time.Since(t0).Nanoseconds())
+			return sim.Service{Ns: work + b.cfg.Costs.UserspaceUDP()}
 		}
 		extNs := netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls)
 		if res.Ret == kernel.XDPTx { // cache hit, served at the hook

@@ -157,6 +157,9 @@ func TestFig2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
+	if raceEnabled {
+		t.Skip("throughput-shape ordering is not meaningful under the race detector")
+	}
 	simCfg := sim.DefaultConfig()
 	simCfg.DurationNs = 3e8
 	simCfg.Clients = 256

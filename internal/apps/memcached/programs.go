@@ -2,6 +2,7 @@ package memcached
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -174,6 +175,11 @@ type KFlexMC struct {
 	fac     *reqFactory
 	pkt     netsim.Packet
 	ctx     []byte
+	// Errors counts requests the extension failed to serve (cancelled
+	// invocation or hard error); they are charged the user-space path.
+	// Fallbacks counts those caused by degradation (kflex.ErrFallback).
+	Errors    uint64
+	Fallbacks uint64
 }
 
 // NewKFlex loads the KFlex Memcached extension (§5.1). shared enables heap
@@ -182,13 +188,16 @@ func NewKFlex(cfg Config, servers int, shared bool) (*KFlexMC, error) {
 	rt := kflex.NewRuntime()
 	RegisterHelpers(rt)
 	ext, err := rt.Load(kflex.Spec{
-		Name:      "kflex-memcached",
-		Insns:     kflexProgram(shared),
-		Hook:      kflex.HookXDP,
-		Mode:      kflex.ModeKFlex,
-		HeapSize:  64 << 20,
-		ShareHeap: shared,
-		NumCPUs:   servers,
+		Name:            "kflex-memcached",
+		Insns:           kflexProgram(shared),
+		Hook:            kflex.HookXDP,
+		Mode:            kflex.ModeKFlex,
+		HeapSize:        64 << 20,
+		ShareHeap:       shared,
+		NumCPUs:         servers,
+		FaultPlan:       cfg.FaultPlan,
+		LocalCancel:     cfg.LocalCancel,
+		CancelThreshold: cfg.CancelThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -255,12 +264,22 @@ func (k *KFlexMC) Execute(cpu int, frame []byte) ([]byte, float64, error) {
 	return k.pkt.Reply, netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls), nil
 }
 
-// Serve implements sim.System.
+// Serve implements sim.System. A failed extension invocation (cancelled
+// mid-request, or refused after degradation) is re-served on the user-space
+// path — the paper's offload-miss handling (§5) — and counted in Errors.
 func (k *KFlexMC) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
 	req, frame := k.fac.next()
 	_, extNs, err := k.Execute(cpu, frame)
 	if err != nil {
-		panic(err)
+		k.Errors++
+		if errors.Is(err, kflex.ErrFallback) {
+			k.Fallbacks++
+		}
+		path := k.cfg.Costs.UserspaceUDP()
+		if req.Op == workload.OpSet {
+			path = k.cfg.Costs.UserspaceTCP()
+		}
+		return sim.Service{Ns: path}
 	}
 	path := k.cfg.Costs.XDPUDP()
 	if req.Op == workload.OpSet {

@@ -1,0 +1,8 @@
+//go:build race
+
+package memcached
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation slows native request handlers by an order of
+// magnitude and invalidates throughput-shape comparisons.
+const raceEnabled = true

@@ -16,6 +16,7 @@ package redis
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -25,6 +26,7 @@ import (
 	"kflex"
 	"kflex/internal/apps/kvprog"
 	"kflex/internal/ds"
+	"kflex/internal/faultinject"
 	"kflex/internal/kernel"
 	"kflex/internal/netsim"
 	"kflex/internal/sim"
@@ -124,6 +126,15 @@ type Config struct {
 	Costs netsim.PathCosts
 	// Preload fills every key before measuring.
 	Preload bool
+	// FaultPlan attaches deterministic fault injection to the KFlex
+	// variants' runtimes (chaos testing); nil in normal runs.
+	FaultPlan *faultinject.Plan
+	// LocalCancel scopes injected cancellations to single invocations so
+	// the server survives them (§4.3).
+	LocalCancel bool
+	// CancelThreshold auto-unloads the extension after this many
+	// cancellations; Serve then takes the user-space fallback path.
+	CancelThreshold uint64
 }
 
 // DefaultConfig mirrors §5.1.
@@ -314,6 +325,11 @@ type KFlexRedis struct {
 	fac     *reqFactory
 	pkt     netsim.Packet
 	ctx     []byte
+	// Errors counts requests the extension failed to serve (cancelled
+	// invocation or hard error); they are charged the user-space path.
+	// Fallbacks counts those caused by degradation (kflex.ErrFallback).
+	Errors    uint64
+	Fallbacks uint64
 }
 
 // NewKFlex loads the Redis extension (§5.1: ~3100 LoC in the paper's C
@@ -329,12 +345,15 @@ func NewKFlex(cfg Config, servers int) (*KFlexRedis, error) {
 		RetErr:      kernel.SkDrop,
 	})
 	ext, err := rt.Load(kflex.Spec{
-		Name:     "kflex-redis",
-		Insns:    prog,
-		Hook:     kflex.HookSkSkb,
-		Mode:     kflex.ModeKFlex,
-		HeapSize: 64 << 20,
-		NumCPUs:  servers,
+		Name:            "kflex-redis",
+		Insns:           prog,
+		Hook:            kflex.HookSkSkb,
+		Mode:            kflex.ModeKFlex,
+		HeapSize:        64 << 20,
+		NumCPUs:         servers,
+		FaultPlan:       cfg.FaultPlan,
+		LocalCancel:     cfg.LocalCancel,
+		CancelThreshold: cfg.CancelThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -378,12 +397,18 @@ func (k *KFlexRedis) Execute(cpu int, frame []byte) ([]byte, float64, error) {
 }
 
 // Serve implements sim.System: every request pays the TCP stack (§5.1) but
-// skips wakeup, context switch, and the reply syscall.
+// skips wakeup, context switch, and the reply syscall. A failed extension
+// invocation is re-served on the user-space path — the paper's offload-miss
+// handling (§5) — and counted in Errors.
 func (k *KFlexRedis) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
 	_, frame := k.fac.next()
 	_, extNs, err := k.Execute(cpu, frame)
 	if err != nil {
-		panic(err)
+		k.Errors++
+		if errors.Is(err, kflex.ErrFallback) {
+			k.Fallbacks++
+		}
+		return sim.Service{Ns: k.cfg.Costs.UserspaceTCP()}
 	}
 	return sim.Service{Ns: extNs + k.cfg.Costs.SkSkbTCP()}
 }
@@ -393,6 +418,9 @@ func (k *KFlexRedis) Name() string { return "KFlex" }
 
 // Close releases the extension.
 func (k *KFlexRedis) Close() { k.ext.Close() }
+
+// Ext exposes the loaded extension (report inspection, chaos invariants).
+func (k *KFlexRedis) Ext() *kflex.Extension { return k.ext }
 
 // --- ZADD (Figure 6) -------------------------------------------------------------------
 
@@ -426,6 +454,8 @@ func (z *ZAddUser) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.S
 		[]byte(strconv.FormatUint(score, 10)), workload.FormatKey(req.Key, KeySize))
 	t0 := time.Now()
 	if _, err := ParseCommand(frame); err != nil {
+		// Internal invariant: the frame was built by EncodeCommand two
+		// lines up; a parse failure is a codec bug, not runtime input.
 		panic(err)
 	}
 	z.mu.Lock()
@@ -446,17 +476,24 @@ type ZAddKFlex struct {
 	gen    *workload.Generator
 	r      *rand.Rand
 	ctx    []byte
+	zset   *ds.NativeZSet // user-space fallback store
+	// Errors counts ZADDs the extension failed to serve; they are
+	// applied to the user-space zset and charged that path instead.
+	Errors uint64
 }
 
 // NewZAddKFlex loads the ZADD extension (hash map + heap skip list).
 func NewZAddKFlex(cfg Config) (*ZAddKFlex, error) {
 	rt := kflex.NewRuntime()
 	ext, err := rt.Load(kflex.Spec{
-		Name:     "kflex-zadd",
-		Insns:    ds.ZAddProgram(),
-		Hook:     kflex.HookBench,
-		Mode:     kflex.ModeKFlex,
-		HeapSize: 128 << 20,
+		Name:            "kflex-zadd",
+		Insns:           ds.ZAddProgram(),
+		Hook:            kflex.HookBench,
+		Mode:            kflex.ModeKFlex,
+		HeapSize:        128 << 20,
+		FaultPlan:       cfg.FaultPlan,
+		LocalCancel:     cfg.LocalCancel,
+		CancelThreshold: cfg.CancelThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -468,6 +505,7 @@ func NewZAddKFlex(cfg Config) (*ZAddKFlex, error) {
 		gen:    workload.NewGenerator(cfg.Seed, workload.Mix{GetPct: 0}),
 		r:      rand.New(rand.NewSource(cfg.Seed + 1)),
 		ctx:    make([]byte, kflex.HookBench.CtxSize),
+		zset:   ds.NewNativeZSet(),
 	}
 	if _, err := z.op(3, 0, 0); err != nil { // init
 		return nil, err
@@ -487,13 +525,16 @@ func (z *ZAddKFlex) op(op, member, score uint64) (*kflex.Result, error) {
 }
 
 // Serve implements sim.System: ZADDs run over TCP at sk_skb, like the rest
-// of KFlex-Redis.
+// of KFlex-Redis. A failed extension invocation applies the ZADD to the
+// user-space sorted set instead and pays that path's cost.
 func (z *ZAddKFlex) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
 	req := z.gen.Next()
 	score := z.r.Uint64() % (1 << 16)
 	res, err := z.op(0, req.Key, score)
-	if err != nil {
-		panic(err)
+	if err != nil || res.Cancelled != kflex.CancelNone {
+		z.Errors++
+		z.zset.ZAdd(req.Key, score)
+		return sim.Service{Ns: z.cfg.Costs.UserspaceTCP()}
 	}
 	extNs := netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls)
 	return sim.Service{Ns: extNs + z.cfg.Costs.SkSkbTCP()}

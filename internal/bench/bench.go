@@ -493,6 +493,8 @@ func AblProbe(o Options) error {
 		putU64(ctx[16:], val)
 		res, err := h.Run(nil, ctx)
 		if err != nil {
+			// Internal invariant: this drives a static, verified program
+			// from this repo; a hard error is a bug, not a runtime state.
 			panic(err)
 		}
 		return res

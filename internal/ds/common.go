@@ -78,6 +78,8 @@ func builderFor(kind Kind) *asm.Builder {
 	case KindCountSketch:
 		return sketchProgram(true)
 	}
+	// Internal invariant: Kind values are package constants; an unknown one
+	// cannot arrive from extension or workload input.
 	panic("ds: unknown kind " + string(kind))
 }
 
@@ -159,16 +161,27 @@ func (o *Offloaded) op(op, key, val uint64) (uint64, error) {
 	return res.Ret, nil
 }
 
-// Update implements Store. Errors surface as panics: the bytecode is loaded
-// from a static, verified program, so a failure is a bug in this repository,
-// not a runtime condition callers should handle.
-func (o *Offloaded) Update(key, val uint64) {
+// TryUpdate inserts or updates a key, surfacing runtime failures — heap
+// exhaustion, cancellation — as errors for callers that can degrade
+// gracefully (chaos tests, fallback paths).
+func (o *Offloaded) TryUpdate(key, val uint64) error {
 	ret, err := o.op(OpUpdate, key, val)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	if ret == RetOOM {
-		panic(fmt.Sprintf("ds: heap exhausted updating key %d", key))
+		return fmt.Errorf("ds: heap exhausted updating key %d", key)
+	}
+	return nil
+}
+
+// Update implements Store. Errors surface as panics: the bytecode is loaded
+// from a static, verified program and benchmarks size their heaps to fit,
+// so a failure here is a bug in this repository, not a runtime condition
+// the Store interface lets callers handle (use TryUpdate where it is one).
+func (o *Offloaded) Update(key, val uint64) {
+	if err := o.TryUpdate(key, val); err != nil {
+		panic(err)
 	}
 }
 

@@ -59,6 +59,8 @@ func NewNative(kind Kind) Store {
 	case KindCountSketch:
 		return newNativeCountSketch()
 	}
+	// Internal invariant: Kind values are package constants; an unknown one
+	// cannot arrive from extension or workload input.
 	panic("ds: unknown kind " + string(kind))
 }
 

@@ -1,0 +1,251 @@
+// Package faultinject is a seeded, deterministic fault-injection harness
+// for the KFlex runtime. The paper's safety argument (§3.2–§4.3) is that
+// extension failures — guard-zone hits, exhausted heaps, stalled loops,
+// watchdog cancellations — always unwind through cancellation points and
+// object tables back to a consistent kernel; this package manufactures
+// those failures on demand so the recovery machinery can be exercised
+// systematically instead of waiting for them to occur.
+//
+// A Plan is attached per runtime (kflex.Spec.FaultPlan) and threaded to
+// every failure-prone layer: extension heaps (forced guard-zone faults,
+// demand-paging failures), the memory allocator (per-size-class allocation
+// failures), the VM (helper-call errors, terminate-word invalidation at
+// chosen cancellation points), spin locks (contention delays, abandoned
+// acquisitions), and the watchdog (forced firings).
+//
+// Injection sites are zero-cost when disabled: each holds a *Plan that is
+// nil in production, and the site guards the call with a nil check. A Plan
+// is deterministic: a fixed seed and a fixed sequence of Fire calls produce
+// the same fault decisions and the same recorded Event trace, making chaos
+// runs reproducible bit for bit.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind identifies one class of injectable fault.
+type Kind uint8
+
+// Injectable fault kinds, one per runtime failure mode the paper's
+// recovery machinery must handle.
+const (
+	// KindNone is the zero value; it never fires.
+	KindNone Kind = iota
+	// HeapGuard forces a guard-zone (out-of-bounds) fault on a heap
+	// access (§3.2: SFI sanitization and the ±32 KiB guard zones).
+	HeapGuard
+	// HeapPage fails a demand-paging population request (§3.2: heaps are
+	// not pre-populated, so class-2 cancellation points exist).
+	HeapPage
+	// AllocFail makes kflex_malloc return 0 (§4.1: the allocator's
+	// exhaustion contract). The fire key is the size class.
+	AllocFail
+	// HelperErr fails a helper call with ErrInjected (§3: the kernel
+	// interface can reject extension requests at runtime). The fire key
+	// is the helper ID.
+	HelperErr
+	// Terminate simulates terminate-word invalidation observed at a
+	// cancellation point (§3.3). The fire key is the CP identifier.
+	Terminate
+	// LockDelay inserts extra contention delay while spinning on a queue
+	// lock (§3.4: waiters behind preempted user threads stall).
+	LockDelay
+	// LockTimeout abandons a lock acquisition as if the extension was
+	// cancelled while spinning (§3.4).
+	LockTimeout
+	// WatchdogFire makes the watchdog treat a target as stalled
+	// regardless of its elapsed quantum (§4.3).
+	WatchdogFire
+
+	numKinds
+)
+
+// String names the kind for traces and test output.
+func (k Kind) String() string {
+	switch k {
+	case HeapGuard:
+		return "heap-guard"
+	case HeapPage:
+		return "heap-page"
+	case AllocFail:
+		return "alloc-fail"
+	case HelperErr:
+		return "helper-err"
+	case Terminate:
+		return "terminate"
+	case LockDelay:
+		return "lock-delay"
+	case LockTimeout:
+		return "lock-timeout"
+	case WatchdogFire:
+		return "watchdog-fire"
+	}
+	return "none"
+}
+
+// ErrInjected marks an error manufactured by a fault plan; recovery code
+// can distinguish it from organic failures in assertions.
+var ErrInjected = fmt.Errorf("faultinject: injected fault")
+
+// Event records one injected fault, in injection order.
+type Event struct {
+	// Seq is the global occurrence index (across all kinds) at which the
+	// fault fired.
+	Seq uint64
+	// Kind is the fault class.
+	Kind Kind
+	// Key is the site-specific discriminator passed to Fire (size class,
+	// CP id, helper ID, lock offset, page index...).
+	Key uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s key=%#x", e.Seq, e.Kind, e.Key)
+}
+
+type nthKey struct {
+	kind Kind
+	key  uint64
+}
+
+// Plan decides, deterministically, which runtime operations fail. The zero
+// Plan (and a nil *Plan) never fires. All methods are safe for concurrent
+// use; determinism of the fault sequence additionally requires the caller
+// to serialize the operations that reach Fire, which single-threaded chaos
+// drivers do naturally.
+type Plan struct {
+	seed    int64
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rate     [numKinds]float64
+	nth      map[nthKey][]uint64 // remaining occurrence counts that fire
+	count    map[nthKey]uint64   // occurrences seen per (kind,key)
+	seq      uint64              // total Fire calls while enabled
+	injected uint64
+	max      uint64 // 0 = unlimited
+	events   []Event
+}
+
+// NewPlan returns a disabled plan seeded with seed. Configure rates and
+// triggers, attach it to a runtime, then call Enable once setup traffic
+// (preload, init) is done.
+func NewPlan(seed int64) *Plan {
+	return &Plan{
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+		nth:   make(map[nthKey][]uint64),
+		count: make(map[nthKey]uint64),
+	}
+}
+
+// Seed returns the plan's seed, for reporting.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// SetRate makes a fraction rate (0..1) of kind's occurrences fire,
+// decided by the plan's seeded RNG.
+func (p *Plan) SetRate(kind Kind, rate float64) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rate[kind] = rate
+	return p
+}
+
+// FailNth arms a one-shot trigger: the n-th occurrence (1-based) of kind
+// at the given key fires. Multiple triggers may be armed per (kind, key).
+func (p *Plan) FailNth(kind Kind, key uint64, n uint64) *Plan {
+	if n == 0 {
+		n = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := nthKey{kind, key}
+	p.nth[k] = append(p.nth[k], n)
+	return p
+}
+
+// Limit caps the total number of injected faults; 0 means unlimited.
+func (p *Plan) Limit(n uint64) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.max = n
+	return p
+}
+
+// Enable arms the plan. Sites consult it only while enabled, so setup
+// traffic (preloads, control frames) runs fault-free.
+func (p *Plan) Enable() { p.enabled.Store(true) }
+
+// Disable disarms the plan without losing its trace.
+func (p *Plan) Disarm() { p.enabled.Store(false) }
+
+// Enabled reports whether the plan is armed.
+func (p *Plan) Enabled() bool { return p != nil && p.enabled.Load() }
+
+// Fire is called at an injection site each time the fault of the given
+// kind could occur; key discriminates the site (size class, CP id, helper
+// ID...). It reports whether the site must fail. Nil plans never fire.
+func (p *Plan) Fire(kind Kind, key uint64) bool {
+	if p == nil || !p.enabled.Load() {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	if p.max != 0 && p.injected >= p.max {
+		return false
+	}
+	k := nthKey{kind, key}
+	p.count[k]++
+	fire := false
+	if pending := p.nth[k]; len(pending) > 0 {
+		kept := pending[:0]
+		for _, n := range pending {
+			if n == p.count[k] {
+				fire = true
+			} else {
+				kept = append(kept, n)
+			}
+		}
+		if len(kept) == 0 {
+			delete(p.nth, k)
+		} else {
+			p.nth[k] = kept
+		}
+	}
+	if !fire && p.rate[kind] > 0 && p.rng.Float64() < p.rate[kind] {
+		fire = true
+	}
+	if fire {
+		p.injected++
+		p.events = append(p.events, Event{Seq: p.seq, Kind: kind, Key: key})
+	}
+	return fire
+}
+
+// Injected returns how many faults have fired so far.
+func (p *Plan) Injected() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// Events returns a copy of the injected-fault trace, in firing order.
+// Two runs with the same seed and the same operation sequence produce
+// identical traces — the reproducibility contract chaos tests assert.
+func (p *Plan) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Event(nil), p.events...)
+}

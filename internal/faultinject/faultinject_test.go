@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNilAndDisabledNeverFire(t *testing.T) {
+	var p *Plan
+	if p.Fire(HeapGuard, 0) {
+		t.Fatal("nil plan fired")
+	}
+	if p.Enabled() {
+		t.Fatal("nil plan enabled")
+	}
+	q := NewPlan(1).SetRate(HeapGuard, 1.0)
+	if q.Fire(HeapGuard, 0) {
+		t.Fatal("disabled plan fired")
+	}
+	q.Enable()
+	if !q.Fire(HeapGuard, 0) {
+		t.Fatal("enabled rate-1 plan did not fire")
+	}
+	q.Disarm()
+	if q.Fire(HeapGuard, 0) {
+		t.Fatal("disarmed plan fired")
+	}
+}
+
+func TestFailNthPerKey(t *testing.T) {
+	p := NewPlan(7)
+	p.FailNth(AllocFail, 3 /* size class */, 2)
+	p.Enable()
+	// Other keys never fire; key 3 fires on its 2nd occurrence only.
+	for i := 0; i < 5; i++ {
+		if p.Fire(AllocFail, 1) {
+			t.Fatal("wrong key fired")
+		}
+	}
+	if p.Fire(AllocFail, 3) {
+		t.Fatal("1st occurrence fired")
+	}
+	if !p.Fire(AllocFail, 3) {
+		t.Fatal("2nd occurrence did not fire")
+	}
+	if p.Fire(AllocFail, 3) {
+		t.Fatal("trigger not one-shot")
+	}
+	if got := p.Injected(); got != 1 {
+		t.Fatalf("injected = %d", got)
+	}
+}
+
+func TestDeterministicTrace(t *testing.T) {
+	run := func() []Event {
+		p := NewPlan(42).SetRate(HeapGuard, 0.3).SetRate(HelperErr, 0.1)
+		p.FailNth(Terminate, 9, 4)
+		p.Enable()
+		for i := 0; i < 200; i++ {
+			p.Fire(HeapGuard, uint64(i%4))
+			p.Fire(HelperErr, 0x1001)
+			p.Fire(Terminate, 9)
+		}
+		return p.Events()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("traces differ:\n%v\n%v", a, b)
+	}
+}
+
+func TestLimitCapsInjection(t *testing.T) {
+	p := NewPlan(3).SetRate(HeapPage, 1.0).Limit(2)
+	p.Enable()
+	n := 0
+	for i := 0; i < 10; i++ {
+		if p.Fire(HeapPage, 0) {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("fired %d times, want 2", n)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindNone; k < numKinds; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+	}
+}

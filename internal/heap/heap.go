@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"kflex/internal/faultinject"
 )
 
 const (
@@ -144,6 +146,10 @@ type Heap struct {
 
 	closed    atomic.Bool
 	populated atomic.Uint64 // mapped page count, for accounting (memcg analogue)
+
+	// fault, when non-nil, injects guard-zone and demand-paging failures
+	// (chaos testing); nil in production, so sites cost one nil check.
+	fault *faultinject.Plan
 }
 
 var (
@@ -180,6 +186,10 @@ func NewInArena(size uint64, kernel, user *Arena) (*Heap, error) {
 		pages:    make([]atomic.Bool, size/PageSize),
 	}, nil
 }
+
+// SetFaultPlan attaches a fault-injection plan; nil detaches it. Call
+// before the heap is shared across goroutines.
+func (h *Heap) SetFaultPlan(p *faultinject.Plan) { h.fault = p }
 
 // Size returns the heap size in bytes.
 func (h *Heap) Size() uint64 { return h.size }
@@ -232,6 +242,9 @@ func (h *Heap) Populate(off, n uint64) error {
 	if off >= h.size || off+n > h.size || off+n < off {
 		return fmt.Errorf("heap: populate [%#x,%#x) outside heap of size %#x", off, off+n, h.size)
 	}
+	if h.fault != nil && h.fault.Fire(faultinject.HeapPage, off/PageSize) {
+		return fmt.Errorf("heap: populate [%#x,%#x): %w", off, off+n, faultinject.ErrInjected)
+	}
 	for p := off / PageSize; p <= (off+n-1)/PageSize; p++ {
 		if !h.pages[p].Swap(true) {
 			h.populated.Add(1)
@@ -253,6 +266,11 @@ func (h *Heap) PageMapped(off uint64) bool {
 func (h *Heap) offsetOf(addr uint64, n int, base uint64) (uint64, *Fault) {
 	if h.closed.Load() {
 		return 0, &Fault{Addr: addr, Kind: FaultClosed}
+	}
+	// Keyed by heap offset, not VA: offsets are identical across runtime
+	// instances, so fault traces stay comparable between runs.
+	if h.fault != nil && h.fault.Fire(faultinject.HeapGuard, addr-base) {
+		return 0, &Fault{Addr: addr, Kind: FaultOOB}
 	}
 	off := addr - base
 	if off >= h.size || off+uint64(n) > h.size {
@@ -413,6 +431,8 @@ func (op AtomicRMWOp) apply(old, operand uint64) uint64 {
 	case RMWXchg:
 		return operand
 	}
+	// Internal invariant: the VM's atomic dispatch only constructs the ops
+	// above; an unknown op cannot originate from extension input.
 	panic("heap: unknown RMW op")
 }
 

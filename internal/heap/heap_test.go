@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"kflex/internal/faultinject"
 )
 
 func newHeap(t *testing.T, size uint64) *Heap {
@@ -428,5 +430,58 @@ func TestWriteReadBytes(t *testing.T) {
 	}
 	if err := v.WriteBytes(h.UserBase()+h.Size()-2, data); err == nil {
 		t.Error("write past end accepted")
+	}
+}
+
+// --- Fault-injection failure paths -------------------------------------------
+
+func TestInjectedGuardFault(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if err := h.Populate(0, h.Size()); err != nil {
+		t.Fatal(err)
+	}
+	v := h.ExtView()
+	// HeapGuard is keyed by heap offset: the second access to offset 64
+	// faults as if the address had been sanitized into a guard zone.
+	plan := faultinject.NewPlan(3).FailNth(faultinject.HeapGuard, 64, 2)
+	h.SetFaultPlan(plan)
+	plan.Enable()
+	if err := v.Store(h.ExtBase()+64, 8, 0xabc); err != nil {
+		t.Fatalf("first access: %v", err)
+	}
+	_, err := v.Load(h.ExtBase()+64, 8)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultOOB {
+		t.Fatalf("injected access = %v, want OOB fault", err)
+	}
+	// One-shot: the fault does not repeat, and the data was untouched.
+	got, err := v.Load(h.ExtBase()+64, 8)
+	if err != nil || got != 0xabc {
+		t.Fatalf("after injection: %v %#x", err, got)
+	}
+	ev := plan.Events()
+	if len(ev) != 1 || ev[0].Kind != faultinject.HeapGuard || ev[0].Key != 64 {
+		t.Fatalf("trace = %+v", ev)
+	}
+}
+
+func TestInjectedPopulateFailure(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	plan := faultinject.NewPlan(4).FailNth(faultinject.HeapPage, 2, 1)
+	h.SetFaultPlan(plan)
+	plan.Enable()
+	err := h.Populate(2*PageSize, 8)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("populate = %v, want injected failure", err)
+	}
+	if h.PageMapped(2*PageSize) || h.PopulatedPages() != 0 {
+		t.Fatal("failed populate must not map pages")
+	}
+	// The failure is transient: a retry maps the page.
+	if err := h.Populate(2*PageSize, 8); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if !h.PageMapped(2 * PageSize) {
+		t.Fatal("retry did not map the page")
 	}
 }

@@ -237,6 +237,9 @@ func registerBaseHelpers(k *Kernel) {
 			if !hc.Lock.Lock(args[0], hc.cancelledFn()) {
 				return 0, ErrCancelledInLock
 			}
+			if hc.HoldLock != nil {
+				hc.HoldLock(args[0])
+			}
 			return 0, nil
 		},
 	})
@@ -254,6 +257,9 @@ func registerBaseHelpers(k *Kernel) {
 			}
 			if err := hc.Lock.Unlock(args[0]); err != nil {
 				return 0, err
+			}
+			if hc.ReleaseLock != nil {
+				hc.ReleaseLock(args[0])
 			}
 			return 0, nil
 		},

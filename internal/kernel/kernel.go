@@ -56,6 +56,9 @@ func (o *Object) ID() uint64 { return o.id }
 // Get takes a reference.
 func (o *Object) Get() *Object {
 	if o.refs.Add(1) <= 1 {
+		// Internal invariant: lookups hand out objects only while the
+		// kernel's own reference is live; extension input cannot reach a
+		// destroyed object through a verified program.
 		panic("kernel: Get on destroyed object")
 	}
 	return o
@@ -69,6 +72,8 @@ func (o *Object) Put() {
 			o.destroy()
 		}
 	} else if n < 0 {
+		// Internal invariant: the verifier pairs every acquire with one
+		// release and cancellation releases each held ref exactly once.
 		panic("kernel: refcount underflow")
 	}
 }
@@ -172,6 +177,11 @@ type HelperCtx struct {
 	// instruction index, matching the verifier's reference IDs.
 	Hold   func(site int, obj *Object, ptr uint64)
 	Unhold func(ptr uint64) *Object
+	// HoldLock records a spin lock acquired at ext VA addr so cancellation
+	// can release it (the object-table entry for locks, §3.3); ReleaseLock
+	// removes the record at explicit unlock. Nil outside the VM.
+	HoldLock    func(addr uint64)
+	ReleaseLock func(addr uint64)
 	// Read and Write access extension-visible memory (stack, heap, map
 	// values) by virtual address; helpers are trusted kernel code, so the
 	// VM dispatches across regions for them.

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kflex/internal/faultinject"
 	"kflex/internal/heap"
 )
 
@@ -27,10 +28,18 @@ const LockSize = 8
 // kernel.Locker when constructed over the extension view.
 type Locks struct {
 	view heap.View
+
+	// fault, when non-nil, injects contention delays and abandoned
+	// acquisitions (chaos testing); nil in production.
+	fault *faultinject.Plan
 }
 
 // New returns lock operations over the given heap view (extension or user).
 func New(view heap.View) *Locks { return &Locks{view: view} }
+
+// SetFaultPlan attaches a fault-injection plan; nil detaches it. Call
+// before the lock operations are shared across goroutines.
+func (l *Locks) SetFaultPlan(p *faultinject.Plan) { l.fault = p }
 
 // cancelPollInterval bounds how many spins pass between cancellation polls.
 const cancelPollInterval = 64
@@ -50,12 +59,32 @@ func (l *Locks) Lock(addr uint64, cancelled func() bool) bool {
 	for {
 		cur, err := l.view.AtomicLoad(addr, 4)
 		if err != nil {
+			// The fetch-add above already queued ticket my; dropping it
+			// on the floor would wedge the lock word (owner never
+			// advances past it). Repair before reporting failure.
+			l.recoverTicket(addr, my)
 			return false
 		}
 		if uint32(cur) == my {
 			return true
 		}
 		spins++
+		if spins == 1 && l.fault != nil {
+			key := lockKey(l.view, addr)
+			// LockTimeout abandons the acquisition as if cancelled while
+			// spinning; the unlock path repairs the FIFO hole (§3.4).
+			if l.fault.Fire(faultinject.LockTimeout, key) {
+				l.abandon(addr, my)
+				return false
+			}
+			// LockDelay models a waiter stalled behind a preempted user
+			// thread: stop observing the lock word for a while.
+			if l.fault.Fire(faultinject.LockDelay, key) {
+				for i := 0; i < 4*cancelPollInterval; i++ {
+					runtime.Gosched()
+				}
+			}
+		}
 		if spins%cancelPollInterval == 0 {
 			if cancelled != nil && cancelled() {
 				// Abandon the ticket: bump owner past us when our
@@ -83,6 +112,33 @@ func (l *Locks) abandon(addr uint64, my uint32) {
 	abandoned.add(lockKey(l.view, addr), my)
 }
 
+// recoverTicket repairs the queue after an acquisition aborted on a heap
+// fault mid-spin. Injection is disarmed for the duration — recovery must
+// complete, or no acquisition failure could ever leave the lock usable. If
+// ticket my had already become the owner (the lock was free when the
+// fetch-add queued it), ownership is passed straight on; otherwise the
+// ticket is recorded as abandoned so the unlock path skips the FIFO hole.
+func (l *Locks) recoverTicket(addr uint64, my uint32) {
+	if l.fault.Enabled() {
+		l.fault.Disarm()
+		defer l.fault.Enable()
+	}
+	cur, err := l.view.AtomicLoad(addr, 4)
+	if err != nil {
+		return // heap genuinely gone; nothing left to repair
+	}
+	if uint32(cur) != my {
+		l.abandon(addr, my)
+		return
+	}
+	owner := my + 1
+	key := lockKey(l.view, addr)
+	for abandoned.remove(key, owner) {
+		owner++
+	}
+	_ = l.view.AtomicStore(addr, 4, uint64(owner))
+}
+
 // Unlock releases the lock at addr.
 func (l *Locks) Unlock(addr uint64) error {
 	next, err := l.view.AtomicLoad(addr+4, 4)
@@ -105,8 +161,14 @@ func (l *Locks) Unlock(addr uint64) error {
 	return l.view.AtomicStore(addr, 4, uint64(owner))
 }
 
-// Held reports whether the lock at addr is currently held.
+// Held reports whether the lock at addr is currently held. Like every
+// observer, it runs with fault injection disarmed: an injected guard fault
+// on the lock-word reads would misreport the lock state.
 func (l *Locks) Held(addr uint64) bool {
+	if l.fault.Enabled() {
+		l.fault.Disarm()
+		defer l.fault.Enable()
+	}
 	next, err1 := l.view.AtomicLoad(addr+4, 4)
 	cur, err2 := l.view.AtomicLoad(addr, 4)
 	return err1 == nil && err2 == nil && uint32(cur) != uint32(next)
@@ -171,6 +233,8 @@ func (r *RSeq) Enter() { r.cs.Add(1) }
 // Leave marks exit from a critical section (lock released).
 func (r *RSeq) Leave() {
 	if r.cs.Add(-1) < 0 {
+		// Internal invariant: Enter/Leave calls are emitted pairwise by
+		// the runtime's own lock paths, never from extension input.
 		panic("locks: rseq critical-section counter underflow")
 	}
 }

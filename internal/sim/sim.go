@@ -113,6 +113,8 @@ func (h *eventHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]
 // Run executes the closed-loop simulation of sys under cfg.
 func Run(cfg Config, sys System) Result {
 	if cfg.Clients <= 0 || cfg.Servers <= 0 {
+		// Internal invariant: configs are built by this repo's benchmarks,
+		// not parsed from external input; a bad one is a programming error.
 		panic("sim: bad config")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))

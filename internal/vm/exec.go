@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"kflex/insn"
+	"kflex/internal/faultinject"
 	"kflex/internal/heap"
 	"kflex/internal/kernel"
 )
@@ -57,10 +58,16 @@ func (e *Exec) loop() (uint64, error) {
 			term := p.terminate.Load()
 			quantum := p.opts.QuantumInsns
 			if quantum > 0 && e.stats.Insns > quantum {
-				return 0, &cancelError{kind: CancelTerminate, at: pc}
+				return 0, &ExtensionAbort{Kind: CancelTerminate, PC: pc}
+			}
+			// Injected terminate-word invalidation, observed only at this
+			// probe (keyed by its CP id) so the program is not poisoned
+			// for future invocations.
+			if e.inject != nil && e.inject.Fire(faultinject.Terminate, uint64(uint32(ins.Imm))) {
+				return 0, &ExtensionAbort{Kind: CancelTerminate, PC: pc}
 			}
 			if _, err := e.extView.Load(term, 8); err != nil {
-				return 0, &cancelError{kind: CancelTerminate, at: pc}
+				return 0, &ExtensionAbort{Kind: CancelTerminate, PC: pc}
 			}
 			pc++
 			continue
@@ -322,6 +329,11 @@ func (e *Exec) call(pc int, ins insn.Instruction) error {
 		return fmt.Errorf("vm: insn %d: unknown helper %d", pc, ins.Imm)
 	}
 	e.stats.HelperCalls++
+	// Injected helper failure: the call never runs, and the invocation
+	// unwinds through the same path as a heap fault.
+	if e.inject != nil && e.inject.Fire(faultinject.HelperErr, uint64(uint32(ins.Imm))) {
+		return &ExtensionAbort{Kind: CancelHelper, PC: pc}
+	}
 	e.hc.Site = pc
 	args := [5]uint64{
 		e.regs[insn.R1], e.regs[insn.R2], e.regs[insn.R3],
@@ -330,7 +342,7 @@ func (e *Exec) call(pc int, ins insn.Instruction) error {
 	ret, err := spec.Impl(&e.hc, args)
 	if err != nil {
 		if errors.Is(err, kernel.ErrCancelledInLock) {
-			return &cancelError{kind: CancelLock, at: pc}
+			return &ExtensionAbort{Kind: CancelLock, PC: pc}
 		}
 		return e.fault(pc, err)
 	}

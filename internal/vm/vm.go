@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"kflex/insn"
+	"kflex/internal/faultinject"
 	"kflex/internal/heap"
 	"kflex/internal/kernel"
 	"kflex/internal/kie"
@@ -46,6 +47,9 @@ const (
 	// CancelLock: a spin-lock acquisition was abandoned because the
 	// program was cancelled while spinning (§3.4).
 	CancelLock
+	// CancelHelper: a helper call failed with an injected error; the
+	// invocation unwinds exactly like a heap fault (chaos testing).
+	CancelHelper
 )
 
 func (k CancelKind) String() string {
@@ -58,6 +62,8 @@ func (k CancelKind) String() string {
 		return "heap-fault"
 	case CancelLock:
 		return "lock-spin"
+	case CancelHelper:
+		return "helper-err"
 	}
 	return "?"
 }
@@ -76,6 +82,9 @@ type Result struct {
 	Ret       uint64
 	Cancelled CancelKind
 	Stats     Stats
+	// Abort carries the typed abort (fault kind + PC) when Cancelled is
+	// not CancelNone; nil for normal completions.
+	Abort *ExtensionAbort
 }
 
 // Options configure a loaded program.
@@ -105,6 +114,10 @@ type Options struct {
 	// as future work; the default matches the paper's policy of not
 	// re-running buggy extensions.
 	LocalCancel bool
+	// Fault, when non-nil, injects faults at the VM's cancellation
+	// points (chaos testing): terminate-probe invalidation keyed by CP
+	// id, and helper-call errors keyed by helper ID.
+	Fault *faultinject.Plan
 }
 
 // Program is a loaded, instrumented extension ready to run.
@@ -162,6 +175,14 @@ func (p *Program) Cancel() {
 	p.terminate.Store(0)
 }
 
+// Unload marks the program unloaded: future invocations fail with
+// ErrUnloaded, and in-flight ones fault at their next probe. The runtime
+// uses it to retire extensions that exceed their cancellation budget.
+func (p *Program) Unload() {
+	p.unloaded.Store(true)
+	p.terminate.Store(0)
+}
+
 // Unloaded reports whether a cancellation has unloaded the program.
 func (p *Program) Unloaded() bool { return p.unloaded.Load() }
 
@@ -185,8 +206,11 @@ type Exec struct {
 	ctx   []byte
 	event any
 
-	held []heldRef
-	pins [][]byte
+	held      []heldRef
+	heldLocks []uint64 // ext VAs of spin locks acquired and not released
+	pins      [][]byte
+
+	inject *faultinject.Plan // nil in production
 
 	xlatVal   uint64
 	xlatArmed bool
@@ -204,7 +228,7 @@ type Exec struct {
 
 // NewExec creates an execution context bound to simulated CPU cpu.
 func (p *Program) NewExec(cpu int) *Exec {
-	e := &Exec{prog: p, cpu: cpu}
+	e := &Exec{prog: p, cpu: cpu, inject: p.opts.Fault}
 	if p.opts.Heap != nil {
 		e.extView = p.opts.Heap.ExtView()
 		e.hasHeap = true
@@ -226,6 +250,17 @@ func (p *Program) NewExec(cpu int) *Exec {
 				}
 			}
 			return nil
+		},
+		HoldLock: func(addr uint64) {
+			e.heldLocks = append(e.heldLocks, addr)
+		},
+		ReleaseLock: func(addr uint64) {
+			for i := len(e.heldLocks) - 1; i >= 0; i-- {
+				if e.heldLocks[i] == addr {
+					e.heldLocks = append(e.heldLocks[:i], e.heldLocks[i+1:]...)
+					return
+				}
+			}
 		},
 		Read: func(addr uint64, n int) ([]byte, error) {
 			out := make([]byte, n)
@@ -261,15 +296,26 @@ func (p *Program) NewExec(cpu int) *Exec {
 	return e
 }
 
-// cancelError aborts execution for cancellation.
-type cancelError struct {
-	kind CancelKind
-	at   int
+// ErrExtensionAbort is the sentinel every typed extension abort matches
+// via errors.Is.
+var ErrExtensionAbort = errors.New("vm: extension abort")
+
+// ExtensionAbort is the typed error raised when an invocation hits a
+// cancellation point: it carries the fault kind and the PC of the
+// instruction that observed it. Recovery (doCancel) consumes it; it never
+// escapes Run as an error, but tests and callers can inspect it through
+// Result.Abort.
+type ExtensionAbort struct {
+	Kind CancelKind
+	PC   int
 }
 
-func (c *cancelError) Error() string {
-	return fmt.Sprintf("vm: cancelled (%s) at insn %d", c.kind, c.at)
+func (c *ExtensionAbort) Error() string {
+	return fmt.Sprintf("vm: extension abort (%s) at insn %d", c.Kind, c.PC)
 }
+
+// Is makes errors.Is(err, ErrExtensionAbort) hold for every abort.
+func (c *ExtensionAbort) Is(target error) bool { return target == ErrExtensionAbort }
 
 // Run executes the program on an event. ctxBytes is the hook context
 // structure (its length must match the hook's CtxSize).
@@ -286,6 +332,7 @@ func (e *Exec) Run(event any, ctxBytes []byte) (Result, error) {
 	e.event = event
 	e.hc.Event = event
 	e.held = e.held[:0]
+	e.heldLocks = e.heldLocks[:0]
 	e.pins = e.pins[:0]
 	e.xlatArmed = false
 	e.stats = Stats{}
@@ -296,28 +343,45 @@ func (e *Exec) Run(event any, ctxBytes []byte) (Result, error) {
 	defer e.startNS.Store(0)
 	ret, err := e.loop()
 	if err == nil {
-		if len(e.held) != 0 {
+		if len(e.held) != 0 || len(e.heldLocks) != 0 {
 			// Verified programs release everything; reaching this
 			// point means a verifier/runtime bug.
-			e.releaseHeld()
-			return Result{}, fmt.Errorf("vm: internal: %d references leaked past exit", len(e.held))
+			nheld := len(e.held)
+			e.unwind()
+			return Result{}, fmt.Errorf("vm: internal: %d references leaked past exit", nheld)
 		}
 		return Result{Ret: ret, Stats: e.stats}, nil
 	}
-	var cancel *cancelError
+	var cancel *ExtensionAbort
 	if errors.As(err, &cancel) {
 		return e.doCancel(cancel)
 	}
-	e.releaseHeld()
+	e.unwind()
 	return Result{}, err
 }
 
-// doCancel implements extension cancellation (§3.3): release acquired
-// kernel objects, compute the default return code (optionally adjusted by
-// the callback), and unload the extension (§4.3 cancellation scope).
-func (e *Exec) doCancel(c *cancelError) (Result, error) {
-	p := e.prog
+// unwind releases the spin locks and kernel objects this invocation still
+// holds. Fault injection is disarmed for the duration: recovery must run
+// to completion unconditionally — a harness that faulted the unwind itself
+// could never establish the no-leak invariants cancellation guarantees
+// (the kernel's object-table walk is likewise not preemptible by further
+// faults, §3.3).
+func (e *Exec) unwind() {
+	if e.inject != nil && e.inject.Enabled() {
+		e.inject.Disarm()
+		defer e.inject.Enable()
+	}
+	e.releaseLocks()
 	e.releaseHeld()
+}
+
+// doCancel implements extension cancellation (§3.3): release acquired
+// spin locks and kernel objects in LIFO order (the object-table walk),
+// compute the default return code (optionally adjusted by the callback),
+// and unload the extension (§4.3 cancellation scope).
+func (e *Exec) doCancel(c *ExtensionAbort) (Result, error) {
+	p := e.prog
+	e.unwind()
 	p.cancels.Add(1)
 	if !p.opts.LocalCancel {
 		p.unloaded.Store(true)
@@ -333,12 +397,13 @@ func (e *Exec) doCancel(c *cancelError) (Result, error) {
 			ret = res
 		}
 	}
-	return Result{Ret: ret, Cancelled: c.kind, Stats: e.stats}, nil
+	return Result{Ret: ret, Cancelled: c.Kind, Stats: e.stats, Abort: c}, nil
 }
 
 // runCallback executes a restricted callback program with R1 = code.
 func (e *Exec) runCallback(code uint64) (uint64, error) {
 	e.held = e.held[:0]
+	e.heldLocks = e.heldLocks[:0]
 	e.pins = e.pins[:0]
 	e.stats = Stats{}
 	e.regs[insn.R1] = code
@@ -354,12 +419,26 @@ func (e *Exec) releaseHeld() {
 	e.held = e.held[:0]
 }
 
+// releaseLocks unlocks spin locks still held at cancellation, LIFO. A lock
+// held by a cancelled invocation would otherwise starve every other CPU
+// and user-space thread spinning on the same heap word.
+func (e *Exec) releaseLocks() {
+	for i := len(e.heldLocks) - 1; i >= 0; i-- {
+		if lk := e.prog.opts.Lock; lk != nil {
+			// The unlock can only fail if the lock word itself is gone
+			// (heap torn down mid-cancel); nothing left to repair then.
+			_ = lk.Unlock(e.heldLocks[i])
+		}
+	}
+	e.heldLocks = e.heldLocks[:0]
+}
+
 // fault converts a heap fault into a cancellation (class-2 CPs) and any
 // other memory error into a hard error.
 func (e *Exec) fault(pc int, err error) error {
 	var hf *heap.Fault
 	if errors.As(err, &hf) && e.hasHeap {
-		return &cancelError{kind: CancelFault, at: pc}
+		return &ExtensionAbort{Kind: CancelFault, PC: pc}
 	}
 	return fmt.Errorf("vm: insn %d: %w", pc, err)
 }

@@ -9,8 +9,10 @@ package watchdog
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"kflex/internal/faultinject"
 	"kflex/internal/vm"
 )
 
@@ -21,16 +23,23 @@ type Target struct {
 	Execs []*vm.Exec
 }
 
-// Watchdog monitors extensions for stalls.
+// Watchdog monitors extensions for stalls. Watch, Start, and Stop are safe
+// to call concurrently with each other and with the poller; Stop is
+// idempotent.
 type Watchdog struct {
 	quantum  time.Duration
 	interval time.Duration
 
 	mu      sync.Mutex
 	targets []Target
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	fired   int
+	stop    chan struct{} // non-nil while a poller is running
+	done    chan struct{} // closed by that poller on exit
+
+	fired atomic.Uint64
+
+	// fault, when non-nil, forces firings regardless of elapsed quantum
+	// (chaos testing); nil in production.
+	fault *faultinject.Plan
 }
 
 // New creates a watchdog that cancels extensions running longer than
@@ -41,7 +50,12 @@ func New(quantum, interval time.Duration) *Watchdog {
 	return &Watchdog{quantum: quantum, interval: interval}
 }
 
-// Watch registers an extension for monitoring.
+// SetFaultPlan attaches a fault-injection plan; nil detaches it. Call
+// before Start.
+func (w *Watchdog) SetFaultPlan(p *faultinject.Plan) { w.fault = p }
+
+// Watch registers an extension for monitoring. Safe to call while the
+// poller is running.
 func (w *Watchdog) Watch(t Target) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -49,13 +63,10 @@ func (w *Watchdog) Watch(t Target) {
 }
 
 // Fired returns how many cancellations the watchdog initiated.
-func (w *Watchdog) Fired() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.fired
-}
+func (w *Watchdog) Fired() int { return int(w.fired.Load()) }
 
-// Start launches the monitoring goroutine.
+// Start launches the monitoring goroutine; a second Start while one is
+// running is a no-op.
 func (w *Watchdog) Start() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -63,10 +74,10 @@ func (w *Watchdog) Start() {
 		return
 	}
 	stop := make(chan struct{})
-	w.stop = stop
-	w.wg.Add(1)
+	done := make(chan struct{})
+	w.stop, w.done = stop, done
 	go func() {
-		defer w.wg.Done()
+		defer close(done)
 		tick := time.NewTicker(w.interval)
 		defer tick.Stop()
 		for {
@@ -80,18 +91,19 @@ func (w *Watchdog) Start() {
 	}()
 }
 
-// Stop halts monitoring.
+// Stop halts monitoring and waits for the poller to exit. Idempotent, and
+// safe against a concurrent Start: each poller has its own done channel, so
+// Stop waits only for the instance it shut down.
 func (w *Watchdog) Stop() {
 	w.mu.Lock()
-	if w.stop == nil {
-		w.mu.Unlock()
+	stop, done := w.stop, w.done
+	w.stop, w.done = nil, nil
+	w.mu.Unlock()
+	if stop == nil {
 		return
 	}
-	stop := w.stop
-	w.stop = nil
-	w.mu.Unlock()
 	close(stop)
-	w.wg.Wait()
+	<-done
 }
 
 func (w *Watchdog) scan() {
@@ -99,20 +111,21 @@ func (w *Watchdog) scan() {
 	w.mu.Lock()
 	targets := append([]Target(nil), w.targets...)
 	w.mu.Unlock()
-	for _, t := range targets {
+	for i, t := range targets {
+		// Forced firing treats the target as stalled regardless of its
+		// elapsed quantum, but still only cancels in-flight invocations.
+		forced := w.fault != nil && w.fault.Fire(faultinject.WatchdogFire, uint64(i))
 		for _, e := range t.Execs {
 			start, running := e.RunningSinceNS()
 			if !running {
 				continue
 			}
-			if time.Duration(now-start) > w.quantum {
+			if forced || time.Duration(now-start) > w.quantum {
 				// Stall detected: invalidate the terminate word.
 				// The extension faults at its next C1 probe (or
 				// abandons a lock spin) and unwinds (§3.3).
 				t.Prog.Cancel()
-				w.mu.Lock()
-				w.fired++
-				w.mu.Unlock()
+				w.fired.Add(1)
 				break
 			}
 		}

@@ -1,11 +1,13 @@
 package watchdog
 
 import (
+	"sync"
 	"testing"
 	"time"
 
 	"kflex/asm"
 	"kflex/insn"
+	"kflex/internal/faultinject"
 	"kflex/internal/heap"
 	"kflex/internal/kernel"
 	"kflex/internal/kie"
@@ -107,4 +109,68 @@ func TestStartStopIdempotent(t *testing.T) {
 	w.Start()
 	w.Stop()
 	w.Stop()
+}
+
+// TestLifecycleRace registers targets and churns Start/Stop while the
+// poller is firing; run under -race it regresses the Stop/Start WaitGroup
+// misuse (Stop used to Wait outside the lock while Start could Add).
+func TestLifecycleRace(t *testing.T) {
+	p := spinningProgram(t)
+	w := New(time.Nanosecond, 100*time.Microsecond) // fire on every scan
+	w.Watch(Target{Prog: p, Execs: []*vm.Exec{p.NewExec(0)}})
+	w.Start()
+
+	var wg sync.WaitGroup
+	stopAll := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopAll:
+					return
+				default:
+				}
+				w.Watch(Target{Prog: p, Execs: []*vm.Exec{p.NewExec(cpu)}})
+				w.Start()
+				w.Stop()
+			}
+		}(i + 1)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stopAll)
+	wg.Wait()
+	w.Stop()
+	w.Stop() // idempotent after concurrent churn
+}
+
+// TestForcedFiring injects a WatchdogFire fault so a fast, healthy
+// extension is cancelled regardless of its elapsed quantum.
+func TestForcedFiring(t *testing.T) {
+	p := spinningProgram(t)
+	e := p.NewExec(0)
+	plan := faultinject.NewPlan(1).SetRate(faultinject.WatchdogFire, 1.0)
+	plan.Enable()
+	// A generous quantum the spin loop never legitimately exceeds within
+	// the test's runtime: only the injected firing can cancel it.
+	w := New(time.Hour, time.Millisecond)
+	w.SetFaultPlan(plan)
+	w.Watch(Target{Prog: p, Execs: []*vm.Exec{e}})
+	w.Start()
+	defer w.Stop()
+
+	res, err := e.Run(nil, make([]byte, kernel.HookBench.CtxSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled != vm.CancelTerminate {
+		t.Fatalf("cancelled = %v, want terminate-probe", res.Cancelled)
+	}
+	if w.Fired() == 0 {
+		t.Fatal("forced firing not counted")
+	}
+	if plan.Injected() == 0 {
+		t.Fatal("plan recorded no injections")
+	}
 }

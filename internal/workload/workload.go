@@ -27,6 +27,8 @@ type Zipf struct {
 // NewZipf creates a generator over n items with exponent theta.
 func NewZipf(r *rand.Rand, n uint64, theta float64, scramble bool) *Zipf {
 	if n == 0 {
+		// Internal invariant: generators are constructed by benchmark
+		// code with compile-time keyspace sizes, not external input.
 		panic("workload: zipf over empty keyspace")
 	}
 	z := &Zipf{n: n, theta: theta, r: r, scramble: scramble}

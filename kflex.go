@@ -33,10 +33,12 @@ package kflex
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"kflex/insn"
 	"kflex/internal/alloc"
+	"kflex/internal/faultinject"
 	"kflex/internal/heap"
 	"kflex/internal/kernel"
 	"kflex/internal/kie"
@@ -80,11 +82,23 @@ const (
 	CancelTerminate = vm.CancelTerminate
 	CancelFault     = vm.CancelFault
 	CancelLock      = vm.CancelLock
+	CancelHelper    = vm.CancelHelper
 )
 
 // ErrUnloaded is returned when invoking an extension that was cancelled and
 // unloaded (§4.3).
 var ErrUnloaded = vm.ErrUnloaded
+
+// ErrExtensionAbort matches (via errors.Is) the typed aborts the VM raises
+// at cancellation points; Result.Abort carries the fault kind and PC.
+var ErrExtensionAbort = vm.ErrExtensionAbort
+
+// ErrFallback is returned by Handle.Run once an extension has been degraded
+// (cancelled more often than Spec.CancelThreshold and auto-unloaded): the
+// caller should serve the request on its user-space path instead — the
+// paper's offload-miss path (§5). It wraps ErrUnloaded, so existing
+// errors.Is(err, ErrUnloaded) checks keep working.
+var ErrFallback = fmt.Errorf("kflex: extension degraded, serve via user-space fallback: %w", ErrUnloaded)
 
 // Spec describes an extension to load.
 type Spec struct {
@@ -129,6 +143,17 @@ type Spec struct {
 	// rather than unloading the extension on every CPU (§4.3 lists this
 	// as future work; the paper's default policy unloads).
 	LocalCancel bool
+	// CancelThreshold auto-unloads the extension once its completed
+	// cancellations reach this count; Handle.Run then returns ErrFallback
+	// so callers take their user-space path (§5's offload miss). Zero
+	// disables degradation. Only meaningful with LocalCancel, whose
+	// cancellations would otherwise retry the extension indefinitely.
+	CancelThreshold uint64
+	// FaultPlan attaches a deterministic fault-injection plan to every
+	// layer of this extension's runtime (chaos testing); nil — the
+	// production case — keeps all injection sites on their nil-check
+	// fast path.
+	FaultPlan *faultinject.Plan
 }
 
 // Runtime is the simulated kernel environment extensions load into.
@@ -186,6 +211,10 @@ type Extension struct {
 
 	handles []*Handle
 	wd      *watchdog.Watchdog
+
+	fault           *faultinject.Plan
+	cancelThreshold uint64
+	degraded        atomic.Bool
 }
 
 // Load verifies, instruments, and loads an extension (Figure 1's three
@@ -231,11 +260,13 @@ func (r *Runtime) Load(spec Spec) (*Extension, error) {
 	}
 
 	ext := &Extension{
-		name:     spec.Name,
-		rt:       r,
-		report:   rep,
-		analysis: an,
-		numCPUs:  spec.NumCPUs,
+		name:            spec.Name,
+		rt:              r,
+		report:          rep,
+		analysis:        an,
+		numCPUs:         spec.NumCPUs,
+		fault:           spec.FaultPlan,
+		cancelThreshold: spec.CancelThreshold,
 	}
 	opts := vm.Options{
 		Hook:         spec.Hook,
@@ -243,17 +274,21 @@ func (r *Runtime) Load(spec Spec) (*Extension, error) {
 		PerfMode:     spec.PerfMode,
 		QuantumInsns: spec.QuantumInsns,
 		LocalCancel:  spec.LocalCancel,
+		Fault:        spec.FaultPlan,
 	}
 	if spec.HeapSize > 0 {
 		h, err := heap.New(spec.HeapSize)
 		if err != nil {
 			return nil, fmt.Errorf("kflex: %s: %w", spec.Name, err)
 		}
+		h.SetFaultPlan(spec.FaultPlan)
 		ext.heap = h
 		// One extra allocator CPU slot serves user-space allocations
 		// for co-designed applications (§5.3).
 		ext.alloc = alloc.New(h, spec.NumCPUs+1)
+		ext.alloc.SetFaultPlan(spec.FaultPlan)
 		ext.extLocks = locks.New(h.ExtView())
+		ext.extLocks.SetFaultPlan(spec.FaultPlan)
 		opts.Heap = h
 		opts.Alloc = ext.alloc
 		opts.Lock = ext.extLocks
@@ -306,9 +341,24 @@ type Handle struct {
 }
 
 // Run invokes the extension for one event. ctx must match the hook's
-// context size; event is the hook-specific payload (e.g. a packet).
+// context size; event is the hook-specific payload (e.g. a packet). Once
+// the extension is degraded (see Spec.CancelThreshold), Run returns
+// ErrFallback without executing.
 func (h *Handle) Run(event any, ctx []byte) (Result, error) {
-	return h.exec.Run(event, ctx)
+	e := h.ext
+	if e.degraded.Load() {
+		return Result{}, ErrFallback
+	}
+	res, err := h.exec.Run(event, ctx)
+	if err == nil && res.Cancelled != CancelNone &&
+		e.cancelThreshold > 0 && e.prog.Cancels() >= e.cancelThreshold {
+		// Graceful degradation: the extension keeps getting cancelled,
+		// so retire it and direct callers to the user-space path.
+		if e.degraded.CompareAndSwap(false, true) {
+			e.prog.Unload()
+		}
+	}
+	return res, err
 }
 
 // Report returns the Kie instrumentation report (guard/elision statistics,
@@ -332,6 +382,14 @@ func (e *Extension) Cancel() { e.prog.Cancel() }
 // Unloaded reports whether the extension was cancelled and unloaded.
 func (e *Extension) Unloaded() bool { return e.prog.Unloaded() }
 
+// Degraded reports whether the extension exceeded its cancellation
+// threshold and was auto-unloaded.
+func (e *Extension) Degraded() bool { return e.degraded.Load() }
+
+// ExtLocks returns the extension-view spin-lock operations (nil without a
+// heap); chaos tests use it to assert no lock is left held.
+func (e *Extension) ExtLocks() *locks.Locks { return e.extLocks }
+
 // Cancels returns the number of completed cancellations.
 func (e *Extension) Cancels() uint64 { return e.prog.Cancels() }
 
@@ -346,6 +404,7 @@ func (e *Extension) StartWatchdog(quantum, poll time.Duration) {
 		execs = append(execs, h.exec)
 	}
 	e.wd = watchdog.New(quantum, poll)
+	e.wd.SetFaultPlan(e.fault)
 	e.wd.Watch(watchdog.Target{Prog: e.prog, Execs: execs})
 	e.wd.Start()
 }
