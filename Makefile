@@ -21,10 +21,12 @@ race:
 chaos:
 	$(GO) test -short -race -run 'TestChaos' -timeout 120s .
 
-# Brief fuzz sessions for the instruction codec and disassembler.
+# Brief fuzz sessions for the instruction codec, disassembler, and the
+# text-assembler front end.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzCodecRoundtrip -fuzztime=20s ./insn/
 	$(GO) test -run=NONE -fuzz=FuzzDisasm -fuzztime=20s ./insn/
+	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=20s ./asm/
 
 # The pre-merge gate: vet, build, the full test suite under the race
 # detector (includes the chaos suite), then the short chaos pass alone to

@@ -1,0 +1,64 @@
+package asm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"kflex/asm"
+	"kflex/insn"
+)
+
+// FuzzAssemble feeds arbitrary source text to the text assembler. The
+// contract under fuzzing is twofold: Assemble never panics (malformed
+// input is always an error value), and anything it does accept is a
+// well-formed program — every instruction encodes into the wire format and
+// decodes back identically, i.e. assembler output round-trips through the
+// insn codec.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"exit",
+		"ret 2",
+		"mov r0, 0\nexit",
+		"mov r1, 0x100000000\nexit ; forces LDDW",
+		"loop: add r0, 1\njlt r0, 10, loop\nexit",
+		"jeq32 r1, r2, out\nlddw r2, 0xdeadbeefcafe\nout: exit",
+		"ldxdw r3, [r6+8]\nstxw [r10-4], r3\nstb [r6], 7\nexit",
+		"a:\nb: ja a\n# comment\nneg r5 // tail",
+		"call 42\nxor32 r0, r0\nexit",
+		"mov r11, 0", // invalid register: must error, not panic
+		"ja nowhere", // undefined label
+		"stxw [r1+99999], r2",
+		":\n::\n[r1]:",
+		"mov\tr0,\t0x7fffffff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			return // rejected input; the only requirement was not panicking
+		}
+		// Accepted programs are fully formed: valid registers and in-range
+		// branches, so the codec must take them without complaint.
+		raw, err := insn.Encode(prog)
+		if err != nil {
+			t.Fatalf("Encode rejected assembled program: %v\n%s", err, insn.Disassemble(prog))
+		}
+		back, err := insn.Decode(raw)
+		if err != nil {
+			t.Fatalf("Decode rejected encoded program: %v\n%s", err, insn.Disassemble(prog))
+		}
+		if len(prog) == 0 {
+			if len(back) != 0 {
+				t.Fatalf("empty program decoded to %d instructions", len(back))
+			}
+			return
+		}
+		if !reflect.DeepEqual(prog, back) {
+			t.Fatalf("assembled program does not round-trip through the codec:\n%s\nvs\n%s",
+				insn.Disassemble(prog), insn.Disassemble(back))
+		}
+	})
+}

@@ -1,0 +1,399 @@
+// Text-assembler front end: Assemble parses a classic mnemonic syntax
+// ("mov r1, 42", "jeq r1, r2, out", "ldxdw r0, [r6+8]") into the same
+// label-resolved instruction stream the Builder produces. It exists for
+// table-driven tests, fuzzing, and tooling that wants to feed programs in
+// as text rather than Go source; the Builder remains the API for programs
+// written in-tree.
+//
+// Grammar (one statement per line; ';', '#', and '//' start comments):
+//
+//	label:                 bind a label to the next instruction
+//	mov   rD, rS|imm       dst = src (large imm lowers to LDDW)
+//	lddw  rD, imm64        two-slot 64-bit constant load
+//	add|sub|mul|div|or|and|lsh|rsh|mod|xor|arsh  rD, rS|imm
+//	neg   rD
+//	<alu>32 / mov32        32-bit ALU forms of the above
+//	ldxb|ldxh|ldxw|ldxdw   rD, [rS±off]
+//	stxb|stxh|stxw|stxdw   [rD±off], rS
+//	stb|sth|stw|stdw       [rD±off], imm
+//	ja    label
+//	jeq|jne|jgt|jge|jlt|jle|jset|jsgt|jsge|jslt|jsle  rD, rS|imm, label
+//	<jmp>32                32-bit compare forms of the above
+//	call  imm
+//	exit
+//	ret   imm              shorthand for "mov r0, imm; exit"
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kflex/insn"
+)
+
+var parseAluOps = map[string]uint8{
+	"add": insn.AluAdd, "sub": insn.AluSub, "mul": insn.AluMul,
+	"div": insn.AluDiv, "or": insn.AluOr, "and": insn.AluAnd,
+	"lsh": insn.AluLsh, "rsh": insn.AluRsh, "mod": insn.AluMod,
+	"xor": insn.AluXor, "arsh": insn.AluArsh, "mov": insn.AluMov,
+}
+
+var parseJmpOps = map[string]uint8{
+	"jeq": insn.JmpEq, "jne": insn.JmpNe, "jgt": insn.JmpGt,
+	"jge": insn.JmpGe, "jlt": insn.JmpLt, "jle": insn.JmpLe,
+	"jset": insn.JmpSet, "jsgt": insn.JmpSgt, "jsge": insn.JmpSge,
+	"jslt": insn.JmpSlt, "jsle": insn.JmpSle,
+}
+
+var parseMemSizes = map[byte]int{'b': 1, 'h': 2, 'w': 4}
+
+// Assemble parses mnemonic source text into a finished program. It never
+// panics: any malformed input is reported as an error.
+func Assemble(src string) ([]insn.Instruction, error) {
+	b := New()
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		// A leading "name:" binds a label; the rest of the line may hold an
+		// instruction.
+		if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], " \t,[") {
+			name := strings.TrimSpace(line[:i])
+			if name == "" {
+				return nil, fmt.Errorf("asm: line %d: empty label", lineNo+1)
+			}
+			b.Label(name)
+			line = line[i+1:]
+		}
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseStatement(b, fields); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineNo+1, err)
+		}
+	}
+	return b.Assemble()
+}
+
+func stripComment(line string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(line, marker); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+// parseStatement dispatches one mnemonic with its operand fields onto the
+// Builder.
+func parseStatement(b *Builder, fields []string) error {
+	mnemonic, args := strings.ToLower(fields[0]), fields[1:]
+	wide := true // 64-bit form unless the mnemonic carries a "32" suffix
+	if base, ok := strings.CutSuffix(mnemonic, "32"); ok {
+		if _, alu := parseAluOps[base]; alu {
+			mnemonic, wide = base, false
+		} else if _, jmp := parseJmpOps[base]; jmp {
+			mnemonic, wide = base, false
+		}
+	}
+
+	switch {
+	case mnemonic == "exit":
+		if len(args) != 0 {
+			return fmt.Errorf("exit takes no operands")
+		}
+		b.Exit()
+		return nil
+
+	case mnemonic == "ret":
+		imm, err := wantImm32(args, 1)
+		if err != nil {
+			return fmt.Errorf("ret: %w", err)
+		}
+		b.Ret(imm)
+		return nil
+
+	case mnemonic == "call":
+		imm, err := wantImm32(args, 1)
+		if err != nil {
+			return fmt.Errorf("call: %w", err)
+		}
+		b.Call(imm)
+		return nil
+
+	case mnemonic == "ja":
+		if len(args) != 1 {
+			return fmt.Errorf("ja takes one label")
+		}
+		b.Ja(args[0])
+		return nil
+
+	case mnemonic == "lddw":
+		if len(args) != 2 {
+			return fmt.Errorf("lddw takes a register and a constant")
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseUint64(args[1])
+		if err != nil {
+			return err
+		}
+		b.I(insn.LoadImm(dst, v))
+		return nil
+
+	case mnemonic == "neg":
+		dst, err := wantReg(args, 1)
+		if err != nil {
+			return fmt.Errorf("neg: %w", err)
+		}
+		if wide {
+			b.I(insn.Neg64(dst))
+		} else {
+			b.I(insn.Instruction{Op: insn.ClassALU | insn.AluNeg, Dst: dst})
+		}
+		return nil
+
+	case strings.HasPrefix(mnemonic, "ldx"):
+		return parseLoad(b, mnemonic, args)
+
+	case strings.HasPrefix(mnemonic, "stx"):
+		return parseStore(b, mnemonic, args, true)
+
+	case strings.HasPrefix(mnemonic, "st"):
+		return parseStore(b, mnemonic, args, false)
+	}
+
+	if op, ok := parseAluOps[mnemonic]; ok {
+		return parseAlu(b, mnemonic, op, wide, args)
+	}
+	if op, ok := parseJmpOps[mnemonic]; ok {
+		return parseJump(b, mnemonic, op, wide, args)
+	}
+	return fmt.Errorf("unknown mnemonic %q", fields[0])
+}
+
+func parseAlu(b *Builder, name string, op uint8, wide bool, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("%s takes a register and a register/immediate", name)
+	}
+	dst, err := parseReg(args[0])
+	if err != nil {
+		return err
+	}
+	if src, err := parseReg(args[1]); err == nil {
+		if wide {
+			b.I(insn.Alu64Reg(op, dst, src))
+		} else {
+			b.I(insn.Alu32Reg(op, dst, src))
+		}
+		return nil
+	}
+	// 64-bit mov is the one ALU form with an escape hatch for constants
+	// that do not fit an int32 immediate: it lowers to LDDW.
+	if op == insn.AluMov && wide {
+		v, err := parseInt64(args[1])
+		if err != nil {
+			return err
+		}
+		b.MovImm(dst, v)
+		return nil
+	}
+	imm, err := parseImm32(args[1])
+	if err != nil {
+		return err
+	}
+	if wide {
+		b.I(insn.Alu64Imm(op, dst, imm))
+	} else {
+		b.I(insn.Alu32Imm(op, dst, imm))
+	}
+	return nil
+}
+
+func parseJump(b *Builder, name string, op uint8, wide bool, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("%s takes a register, a register/immediate, and a label", name)
+	}
+	dst, err := parseReg(args[0])
+	if err != nil {
+		return err
+	}
+	label := args[2]
+	if src, err := parseReg(args[1]); err == nil {
+		if wide {
+			b.JmpReg(op, dst, src, label)
+		} else {
+			b.Jmp32Reg(op, dst, src, label)
+		}
+		return nil
+	}
+	imm, err := parseImm32(args[1])
+	if err != nil {
+		return err
+	}
+	if wide {
+		b.JmpImm(op, dst, imm, label)
+	} else {
+		b.Jmp32Imm(op, dst, imm, label)
+	}
+	return nil
+}
+
+func parseLoad(b *Builder, mnemonic string, args []string) error {
+	size, err := memSize(mnemonic, "ldx")
+	if err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("%s takes a register and a memory operand", mnemonic)
+	}
+	dst, err := parseReg(args[0])
+	if err != nil {
+		return err
+	}
+	src, off, err := parseMem(args[1])
+	if err != nil {
+		return err
+	}
+	b.Load(dst, src, off, size)
+	return nil
+}
+
+func parseStore(b *Builder, mnemonic string, args []string, regSrc bool) error {
+	prefix := "st"
+	if regSrc {
+		prefix = "stx"
+	}
+	size, err := memSize(mnemonic, prefix)
+	if err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("%s takes a memory operand and a source", mnemonic)
+	}
+	dst, off, err := parseMem(args[0])
+	if err != nil {
+		return err
+	}
+	if regSrc {
+		src, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Store(dst, off, src, size)
+		return nil
+	}
+	imm, err := parseImm32(args[1])
+	if err != nil {
+		return err
+	}
+	b.StoreImm(dst, off, imm, size)
+	return nil
+}
+
+// memSize maps the trailing size letter of a load/store mnemonic (b/h/w or
+// "dw") to its byte width.
+func memSize(mnemonic, prefix string) (int, error) {
+	suffix := strings.TrimPrefix(mnemonic, prefix)
+	if suffix == "dw" {
+		return 8, nil
+	}
+	if len(suffix) == 1 {
+		if n, ok := parseMemSizes[suffix[0]]; ok {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+// parseMem parses "[rN]", "[rN+off]", or "[rN-off]" with off in int16 range.
+func parseMem(s string) (insn.Reg, int16, error) {
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("malformed memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	sep := strings.IndexAny(body, "+-")
+	regText, offText := body, ""
+	if sep >= 0 {
+		regText, offText = body[:sep], body[sep:]
+	}
+	reg, err := parseReg(regText)
+	if err != nil {
+		return 0, 0, err
+	}
+	if offText == "" {
+		return reg, 0, nil
+	}
+	off, err := strconv.ParseInt(offText, 0, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("offset %q out of int16 range", offText)
+	}
+	return reg, int16(off), nil
+}
+
+func parseReg(s string) (insn.Reg, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("%q is not a register", s)
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 8)
+	if err != nil || !insn.Reg(n).Valid() {
+		return 0, fmt.Errorf("%q is not a register", s)
+	}
+	return insn.Reg(n), nil
+}
+
+func parseImm32(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		// Accept spellings of the high bit patterns, e.g. 0xffffffff, by
+		// reinterpreting a uint32 literal as its int32 bits.
+		u, uerr := strconv.ParseUint(s, 0, 32)
+		if uerr != nil {
+			return 0, fmt.Errorf("immediate %q out of int32 range", s)
+		}
+		return int32(u), nil
+	}
+	return int32(v), nil
+}
+
+func parseInt64(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("constant %q is not a 64-bit integer", s)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+func parseUint64(s string) (uint64, error) {
+	u, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		v, verr := strconv.ParseInt(s, 0, 64)
+		if verr != nil {
+			return 0, fmt.Errorf("constant %q is not a 64-bit integer", s)
+		}
+		return uint64(v), nil
+	}
+	return u, nil
+}
+
+// wantReg expects exactly n operands, the first being a register.
+func wantReg(args []string, n int) (insn.Reg, error) {
+	if len(args) != n {
+		return 0, fmt.Errorf("want %d operand(s), have %d", n, len(args))
+	}
+	return parseReg(args[0])
+}
+
+// wantImm32 expects exactly n operands, the first being an immediate.
+func wantImm32(args []string, n int) (int32, error) {
+	if len(args) != n {
+		return 0, fmt.Errorf("want %d operand(s), have %d", n, len(args))
+	}
+	return parseImm32(args[0])
+}

@@ -1,0 +1,113 @@
+package asm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"kflex/asm"
+	"kflex/insn"
+)
+
+// TestAssembleMatchesBuilder: the text front end must emit exactly the
+// instruction stream the Builder produces for the same program.
+func TestAssembleMatchesBuilder(t *testing.T) {
+	src := `
+		; count down r1 and accumulate into r0
+		mov   r0, 0
+		mov   r1, 10
+		lddw  r2, 0xdeadbeefcafe
+	loop:
+		jeq   r1, 0, out      // loop exit
+		add   r0, r1
+		sub   r1, 1
+		stxdw [r10-8], r0
+		ldxdw r3, [r10-8]
+		ja    loop
+	out:
+		call  7
+		exit
+	`
+	got, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := asm.New().
+		MovImm(insn.R0, 0).
+		MovImm(insn.R1, 10).
+		I(insn.LoadImm(insn.R2, 0xdeadbeefcafe)).
+		Label("loop").
+		JmpImm(insn.JmpEq, insn.R1, 0, "out").
+		AddReg(insn.R0, insn.R1).
+		I(insn.Alu64Imm(insn.AluSub, insn.R1, 1)).
+		Store(insn.R10, -8, insn.R0, 8).
+		Load(insn.R3, insn.R10, -8, 8).
+		Ja("loop").
+		Label("out").
+		Call(7).
+		Exit().
+		MustAssemble()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("assembled program diverges from Builder:\n%s\nvs\n%s",
+			insn.Disassemble(got), insn.Disassemble(want))
+	}
+}
+
+// TestAssembleForms spot-checks each operand shape the grammar accepts.
+func TestAssembleForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want insn.Instruction
+	}{
+		{"mov r1, r2", insn.Mov64Reg(insn.R1, insn.R2)},
+		{"mov32 r1, 7", insn.Mov32Imm(insn.R1, 7)},
+		{"mov r1, 0x7fffffff", insn.Mov64Imm(insn.R1, 0x7fffffff)},
+		{"mov r1, -1", insn.Mov64Imm(insn.R1, -1)},
+		{"and r1, 0xff", insn.Alu64Imm(insn.AluAnd, insn.R1, 0xff)},
+		{"xor32 r4, r4", insn.Alu32Reg(insn.AluXor, insn.R4, insn.R4)},
+		{"neg r3", insn.Neg64(insn.R3)},
+		{"ldxw r0, [r6]", insn.LoadMem(insn.R0, insn.R6, 0, 4)},
+		{"ldxb r0, [r6+129]", insn.LoadMem(insn.R0, insn.R6, 129, 1)},
+		{"stxh [r7-2], r8", insn.StoreMem(insn.R7, -2, insn.R8, 2)},
+		{"stw [r9+4], -5", insn.StoreImm(insn.R9, 4, -5, 4)},
+		{"call 13", insn.Call(13)},
+		{"ret 2", insn.Mov64Imm(insn.R0, 2)},
+	}
+	for _, tc := range cases {
+		prog, err := asm.Assemble(tc.src)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		if len(prog) == 0 || prog[0] != tc.want {
+			t.Errorf("%q assembled to %+v, want %+v", tc.src, prog, tc.want)
+		}
+	}
+	// A large mov constant lowers to the two-slot LDDW form.
+	prog, err := asm.Assemble("mov r1, 0x100000000")
+	if err != nil || len(prog) != 1 || !prog[0].IsLoadImm64() || prog[0].Imm64 != 1<<32 {
+		t.Errorf("wide mov = (%+v, %v), want LDDW", prog, err)
+	}
+}
+
+// TestAssembleErrors: malformed programs must fail with errors, not panic.
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus r1, r2",                 // unknown mnemonic
+		"mov r11, 0",                   // register out of range
+		"mov rx, 0",                    // not a register
+		"add r1, 0x1ffffffff",          // immediate out of int32 range
+		"ja nowhere",                   // undefined label
+		"x: exit\nx: exit",             // duplicate label
+		"ldxdw r0, r6",                 // missing brackets
+		"ldxq r0, [r6]",                // bad size suffix
+		"stxw [r1+40000], r2",          // offset out of int16 range
+		"exit now",                     // stray operand
+		"jeq r1, r2",                   // missing label operand
+		"lddw r1, 0xdeadbeefcafebabe0", // 65-bit constant
+	}
+	for _, src := range bad {
+		if _, err := asm.Assemble(src); err == nil {
+			t.Errorf("%q assembled without error", src)
+		}
+	}
+}

@@ -15,12 +15,10 @@ import (
 	"testing"
 
 	"kflex"
-	"kflex/internal/alloc"
 	"kflex/internal/apps/kvprog"
 	"kflex/internal/apps/memcached"
 	"kflex/internal/apps/redis"
 	"kflex/internal/faultinject"
-	"kflex/internal/heap"
 	"kflex/internal/netsim"
 	"kflex/internal/workload"
 )
@@ -44,9 +42,13 @@ func checkInvariants(t *testing.T, ext *kflex.Extension, lockAddrs ...uint64) {
 	t.Helper()
 	// No leaked heap pages: page 0 holds the terminate word; every other
 	// populated page was handed out by the allocator's bump region.
-	want := 1 + (ext.Alloc().BumpOff()-alloc.ReservedRegion)/heap.PageSize
+	want := ext.Alloc().ExpectedPopulatedPages()
 	if got := ext.Heap().PopulatedPages(); got != want {
 		t.Errorf("populated pages = %d, want %d (pages leaked or lost)", got, want)
+	}
+	// The charge counter must agree with a recount of the per-page flags.
+	if got, mapped := ext.Heap().PopulatedPages(), ext.Heap().MappedPages(); got != mapped {
+		t.Errorf("populated-page counter = %d but %d pages mapped (accounting drift)", got, mapped)
 	}
 	// No lock abandoned by a cancelled invocation.
 	for _, a := range lockAddrs {

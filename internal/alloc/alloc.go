@@ -136,6 +136,15 @@ func (a *Allocator) BumpOff() uint64 {
 	return a.bump
 }
 
+// ExpectedPopulatedPages derives how many heap pages the allocator should
+// have populated: the reserved first page plus every page the bump pointer
+// has carved runs from. The quarantine audit (and the chaos suite's
+// invariant checks) compare this against the heap's own accounting to
+// detect leaked or double-populated pages.
+func (a *Allocator) ExpectedPopulatedPages() uint64 {
+	return 1 + (a.BumpOff()-ReservedRegion)/heap.PageSize
+}
+
 func (a *Allocator) trackAlloc(hdrOff uint64, class int) {
 	a.trackMu.Lock()
 	if a.live != nil {

@@ -23,6 +23,7 @@ package memcached
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -132,6 +133,31 @@ func (s *Store) Set(key, value []byte) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.kv[string(key)] = append([]byte(nil), value...)
+}
+
+// Range visits every key/value pair in sorted key order. Deterministic
+// iteration matters to the supervised deployment: a reload resync replays
+// the store into the fresh heap, and a stable order keeps the
+// fault-injection trace reproducible across runs.
+func (s *Store) Range(fn func(key, value []byte) error) error {
+	keys := make([]string, 0, 1024)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.kv {
+			keys = append(keys, k)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v := s.Get([]byte(k)); v != nil {
+			if err := fn([]byte(k), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Handle processes one request frame natively and returns the reply.

@@ -1,0 +1,166 @@
+package memcached
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"kflex"
+	"kflex/internal/kernel"
+	"kflex/internal/netsim"
+	"kflex/internal/sim"
+	"kflex/internal/supervisor"
+	"kflex/internal/workload"
+)
+
+// Supervised is the KFlex Memcached deployment routed through the
+// lifecycle supervisor: a fault burst that degrades the extension no
+// longer forfeits the offload permanently. While the circuit is open the
+// server answers from a durable user-space store; once the supervisor
+// reloads the extension it resyncs the store into the fresh heap and
+// traffic returns to the XDP path.
+//
+// The user-space store is authoritative: every offloaded SET is written
+// through to it, so no acknowledged write is lost across a
+// quarantine/reload cycle, and an extension GET miss double-checks it
+// (the entry may have landed while the circuit was open).
+//
+// Like the other deployments, a Supervised instance drives one request at
+// a time per instance; the per-cpu concurrency contract lives in the
+// supervisor itself.
+type Supervised struct {
+	cfg   Config
+	sup   *supervisor.Supervisor
+	store *Store
+	fac   *reqFactory
+	pkt   netsim.Packet
+	ctx   []byte
+	reply []byte
+	// Offloaded counts requests served by the extension; Fallbacks counts
+	// requests served by the user-space store (open circuit, probe quota,
+	// cancelled run, or durable-store GET backfill).
+	Offloaded, Fallbacks uint64
+}
+
+// NewSupervised builds the supervised deployment. tuning configures the
+// circuit breaker (zero values take supervisor defaults).
+func NewSupervised(cfg Config, servers int, tuning supervisor.Tuning) (*Supervised, error) {
+	rt := kflex.NewRuntime()
+	RegisterHelpers(rt)
+	m := &Supervised{cfg: cfg, store: NewStore(), fac: newReqFactory(cfg)}
+	if cfg.Preload {
+		preloadStore(m.store, cfg.ValueSize)
+	}
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: rt,
+		Spec: kflex.Spec{
+			Name:            "kflex-memcached",
+			Insns:           kflexProgram(false),
+			Hook:            kflex.HookXDP,
+			Mode:            kflex.ModeKFlex,
+			HeapSize:        64 << 20,
+			NumCPUs:         servers,
+			FaultPlan:       cfg.FaultPlan,
+			LocalCancel:     cfg.LocalCancel,
+			CancelThreshold: cfg.CancelThreshold,
+		},
+		NumCPUs: servers,
+		Init:    m.resync,
+		Tuning:  tuning,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.sup = sup
+	return m, nil
+}
+
+// resync initialises a fresh generation and replays the durable store into
+// its heap, in sorted key order so the replay is deterministic.
+func (m *Supervised) resync(ext *kflex.Extension, handles []*kflex.Handle) error {
+	run := func(frame []byte) error {
+		pkt := &netsim.Packet{Data: frame}
+		res, err := handles[0].Run(pkt, pkt.XDPCtx(0))
+		if err != nil {
+			return err
+		}
+		if res.Ret != kernel.XDPTx {
+			return fmt.Errorf("memcached: resync frame returned %d", res.Ret)
+		}
+		return nil
+	}
+	if err := run([]byte{'i'}); err != nil {
+		return err
+	}
+	return m.store.Range(func(key, value []byte) error {
+		return run(EncodeSet(key, value))
+	})
+}
+
+// Execute serves one frame: on the extension when the circuit admits it,
+// from the durable store otherwise. It reports the reply, the modeled
+// extension cost (0 on fallback), and whether the request was offloaded.
+func (m *Supervised) Execute(cpu int, frame []byte) (reply []byte, extNs float64, offloaded bool) {
+	m.pkt.Data = frame
+	m.pkt.Reply = m.pkt.Reply[:0]
+	if m.ctx == nil {
+		m.ctx = make([]byte, kernel.HookXDP.CtxSize)
+	}
+	binary.LittleEndian.PutUint32(m.ctx[0:], uint32(len(frame)))
+	res, err := m.sup.Run(cpu, &m.pkt, m.ctx)
+	if err != nil || res.Ret != kernel.XDPTx {
+		// Open circuit, probe quota, or a cancelled run: the durable
+		// store serves the request — the paper's offload-miss path (§5).
+		m.Fallbacks++
+		m.reply = m.store.Handle(frame, m.reply)
+		return m.reply, 0, false
+	}
+	op, key, value := ParseRequest(frame)
+	if op == wireSet {
+		// Write-through: the durable store mirrors every offloaded SET
+		// so a reloaded generation can be resynced from it.
+		m.store.Set(key, value)
+	}
+	if op == wireGet && len(m.pkt.Reply) == 1 && m.pkt.Reply[0] == 'M' {
+		// The entry may have landed while the circuit was open; the
+		// durable store is authoritative for acknowledged SETs.
+		if v := m.store.Get(key); v != nil {
+			m.Fallbacks++
+			m.reply = append(append(m.reply[:0], 'V'), v...)
+			return m.reply, 0, false
+		}
+	}
+	m.Offloaded++
+	return m.pkt.Reply, netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls), true
+}
+
+// Serve implements sim.System with the same path costing as KFlexMC:
+// offloaded requests ride XDP, fallbacks pay the user-space stack.
+func (m *Supervised) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
+	req, frame := m.fac.next()
+	_, extNs, offloaded := m.Execute(cpu, frame)
+	if !offloaded {
+		path := m.cfg.Costs.UserspaceUDP()
+		if req.Op == workload.OpSet {
+			path = m.cfg.Costs.UserspaceTCP()
+		}
+		return sim.Service{Ns: path}
+	}
+	path := m.cfg.Costs.XDPUDP()
+	if req.Op == workload.OpSet {
+		path = m.cfg.Costs.XDPTCPFast()
+	}
+	return sim.Service{Ns: extNs + path}
+}
+
+// Name labels the system.
+func (m *Supervised) Name() string { return "KFlex supervised" }
+
+// Supervisor exposes the lifecycle supervisor (state, trace, audits).
+func (m *Supervised) Supervisor() *supervisor.Supervisor { return m.sup }
+
+// Store exposes the durable user-space store.
+func (m *Supervised) Store() *Store { return m.store }
+
+// Close retires the live generation.
+func (m *Supervised) Close() { m.sup.Close() }

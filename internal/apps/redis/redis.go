@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -185,6 +186,39 @@ func (k *KeyDB) set(key, value []byte) {
 	sh.mu.Lock()
 	sh.kv[string(key)] = append([]byte(nil), value...)
 	sh.mu.Unlock()
+}
+
+// Get returns the stored value bytes or nil.
+func (k *KeyDB) Get(key []byte) []byte {
+	sh := k.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.kv[string(key)]
+}
+
+// Range visits every key/value pair in sorted key order. Deterministic
+// iteration matters to the supervised deployment: a reload resync replays
+// the store into the fresh heap, and a stable order keeps the
+// fault-injection trace reproducible across runs.
+func (k *KeyDB) Range(fn func(key, value []byte) error) error {
+	keys := make([]string, 0, 1024)
+	for i := range k.shards {
+		sh := &k.shards[i]
+		sh.mu.Lock()
+		for key := range sh.kv {
+			keys = append(keys, key)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if v := k.Get([]byte(key)); v != nil {
+			if err := fn([]byte(key), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Handle processes one RESP frame natively.

@@ -1,0 +1,160 @@
+package redis
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"kflex"
+	"kflex/internal/apps/kvprog"
+	"kflex/internal/kernel"
+	"kflex/internal/netsim"
+	"kflex/internal/sim"
+	"kflex/internal/supervisor"
+	"kflex/internal/workload"
+)
+
+// Supervised is the KFlex Redis deployment routed through the lifecycle
+// supervisor. While the circuit is open, requests are answered by the
+// KeyDB user-space store; a reload resyncs the store into the fresh heap
+// and traffic returns to the sk_skb offload. Every offloaded SET is
+// written through to KeyDB, so no acknowledged write is lost across a
+// quarantine/reload cycle.
+type Supervised struct {
+	cfg   Config
+	sup   *supervisor.Supervisor
+	db    *KeyDB
+	fac   *reqFactory
+	pkt   netsim.Packet
+	ctx   []byte
+	reply []byte
+	// Offloaded counts requests served by the extension; Fallbacks counts
+	// requests served by KeyDB.
+	Offloaded, Fallbacks uint64
+}
+
+// respNil is the RESP bulk-string miss reply.
+var respNil = []byte("$-1\r\n")
+
+// NewSupervised builds the supervised deployment. tuning configures the
+// circuit breaker (zero values take supervisor defaults).
+func NewSupervised(cfg Config, servers int, tuning supervisor.Tuning) (*Supervised, error) {
+	rt := kflex.NewRuntime()
+	RegisterHelpers(rt)
+	prog := kvprog.Build(kvprog.Options{
+		ParseHelper: helperRespParse,
+		ReplyHelper: helperRespReply,
+		RetServed:   Served,
+		RetPass:     kernel.SkPass,
+		RetErr:      kernel.SkDrop,
+	})
+	// NewKeyDB handles preloading the durable store; the initial resync
+	// replays it into the extension heap.
+	r := &Supervised{cfg: cfg, db: NewKeyDB(cfg),
+		fac: &reqFactory{gen: workload.NewGenerator(cfg.Seed, cfg.Mix)}}
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: rt,
+		Spec: kflex.Spec{
+			Name:            "kflex-redis",
+			Insns:           prog,
+			Hook:            kflex.HookSkSkb,
+			Mode:            kflex.ModeKFlex,
+			HeapSize:        64 << 20,
+			NumCPUs:         servers,
+			FaultPlan:       cfg.FaultPlan,
+			LocalCancel:     cfg.LocalCancel,
+			CancelThreshold: cfg.CancelThreshold,
+		},
+		NumCPUs: servers,
+		Init:    r.resync,
+		Tuning:  tuning,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.sup = sup
+	return r, nil
+}
+
+// resync initialises a fresh generation and replays KeyDB into its heap,
+// in sorted key order so the replay is deterministic.
+func (r *Supervised) resync(ext *kflex.Extension, handles []*kflex.Handle) error {
+	run := func(frame []byte) error {
+		pkt := &netsim.Packet{Data: frame}
+		ctx := make([]byte, kernel.HookSkSkb.CtxSize)
+		binary.LittleEndian.PutUint32(ctx[0:], uint32(len(frame)))
+		res, err := handles[0].Run(pkt, ctx)
+		if err != nil {
+			return err
+		}
+		if res.Ret != Served {
+			return fmt.Errorf("redis: resync frame returned %d", res.Ret)
+		}
+		return nil
+	}
+	if err := run([]byte{'i'}); err != nil {
+		return err
+	}
+	return r.db.Range(func(key, value []byte) error {
+		return run(EncodeCommand([]byte("SET"), key, value))
+	})
+}
+
+// Execute serves one frame: on the extension when the circuit admits it,
+// from KeyDB otherwise. It reports the reply, the modeled extension cost
+// (0 on fallback), and whether the request was offloaded.
+func (r *Supervised) Execute(cpu int, frame []byte) (reply []byte, extNs float64, offloaded bool) {
+	r.pkt.Data = frame
+	r.pkt.Reply = r.pkt.Reply[:0]
+	if r.ctx == nil {
+		r.ctx = make([]byte, kernel.HookSkSkb.CtxSize)
+	}
+	binary.LittleEndian.PutUint32(r.ctx[0:], uint32(len(frame)))
+	res, err := r.sup.Run(cpu, &r.pkt, r.ctx)
+	if err != nil || res.Ret != Served {
+		r.Fallbacks++
+		r.reply = r.db.Handle(frame, r.reply)
+		return r.reply, 0, false
+	}
+	if args, perr := ParseCommand(frame); perr == nil && len(args) >= 3 && string(args[0]) == "SET" {
+		// Write-through: KeyDB mirrors every offloaded SET so a reloaded
+		// generation can be resynced from it.
+		r.db.set(args[1], args[2])
+	} else if perr == nil && len(args) >= 2 && string(args[0]) == "GET" &&
+		bytes.Equal(r.pkt.Reply, respNil) {
+		// The entry may have landed while the circuit was open; KeyDB is
+		// authoritative for acknowledged SETs.
+		if v := r.db.Get(args[1]); v != nil {
+			r.Fallbacks++
+			r.reply = append(r.reply[:0], fmt.Sprintf("$%d\r\n", len(v))...)
+			r.reply = append(r.reply, v...)
+			r.reply = append(r.reply, '\r', '\n')
+			return r.reply, 0, false
+		}
+	}
+	r.Offloaded++
+	return r.pkt.Reply, netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls), true
+}
+
+// Serve implements sim.System with the same path costing as KFlexRedis.
+func (r *Supervised) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Service {
+	_, frame := r.fac.next()
+	_, extNs, offloaded := r.Execute(cpu, frame)
+	if !offloaded {
+		return sim.Service{Ns: r.cfg.Costs.UserspaceTCP()}
+	}
+	return sim.Service{Ns: extNs + r.cfg.Costs.SkSkbTCP()}
+}
+
+// Name labels the system.
+func (r *Supervised) Name() string { return "KFlex supervised" }
+
+// Supervisor exposes the lifecycle supervisor (state, trace, audits).
+func (r *Supervised) Supervisor() *supervisor.Supervisor { return r.sup }
+
+// DB exposes the durable KeyDB store.
+func (r *Supervised) DB() *KeyDB { return r.db }
+
+// Close retires the live generation.
+func (r *Supervised) Close() { r.sup.Close() }

@@ -207,6 +207,20 @@ func (h *Heap) UserBase() uint64 { return h.userBase }
 // charges these to the application's memory cgroup (§4.1).
 func (h *Heap) PopulatedPages() uint64 { return h.populated.Load() }
 
+// MappedPages recounts the per-page mapped flags. It must always equal
+// PopulatedPages; the supervisor's quarantine audit compares the two to
+// detect accounting drift (a page mapped without being charged, or
+// vice versa) before a heap is torn down.
+func (h *Heap) MappedPages() uint64 {
+	var n uint64
+	for i := range h.pages {
+		if h.pages[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
 // Close releases the heap. Subsequent accesses fault with FaultClosed.
 // The paper de-allocates a shared heap only when the owning application
 // closes its file descriptor or exits (§3.4).

@@ -1,0 +1,505 @@
+// Package supervisor implements a self-healing lifecycle for KFlex
+// extensions. The paper makes extension *termination* cheap and safe
+// (§3.4, §4.3); the runtime's graceful-degradation policy
+// (Spec.CancelThreshold) builds on that to retire an extension that keeps
+// getting cancelled — but a retired extension forfeits the offload speedup
+// the evaluation (§5) exists to measure, forever. The supervisor turns
+// that fail-stop policy into fail-operational behaviour with a per-
+// extension state machine:
+//
+//	Healthy ──cancel threshold──▶ Degraded ──audit+teardown──▶ Quarantined
+//	   ▲                                                            │
+//	   │ probe successes                                            │ backoff
+//	   └──────────────── Probing ◀──reload (fresh heap + Kie)───────┘
+//	                        │
+//	                        └──probe failure──▶ Quarantined (next tier)
+//
+// On degradation the extension's heap is quarantined: a consistency audit
+// (allocator accounting vs. populated pages, dangling object-table
+// entries, held locks) runs with fault injection disarmed and its report
+// is retained for post-mortem, then the heap's pages are detached (§3.2
+// teardown). A reload is scheduled with capped exponential backoff plus
+// deterministic jitter; the reload re-runs verification and Kie
+// instrumentation against a fresh heap. Traffic re-admission goes through
+// a half-open circuit breaker: a bounded number of probe Runs execute on
+// the reloaded extension while the rest of the traffic stays on the
+// user-space fallback; enough successes close the circuit, any failure
+// re-quarantines at the next backoff tier.
+//
+// Reloads are request-driven (checked on Run once the backoff deadline
+// passes) rather than performed by a background goroutine, and the clock
+// and jitter source are injectable, so a fixed seed reproduces the same
+// lifecycle transition trace — the same property the fault-injection plan
+// gives the chaos suite.
+package supervisor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"kflex"
+)
+
+// State is a lifecycle state of a supervised extension.
+type State int
+
+const (
+	// Healthy: the circuit is closed; all traffic runs on the extension.
+	Healthy State = iota
+	// Degraded: the extension tripped its cancel threshold and was
+	// retired by the runtime. Transient — the supervisor immediately
+	// audits and quarantines, so Degraded appears in traces but is never
+	// a resting state.
+	Degraded
+	// Quarantined: the circuit is open. The heap has been audited and
+	// detached; all traffic falls back until the backoff deadline.
+	Quarantined
+	// Probing: the circuit is half-open. A reloaded extension serves a
+	// bounded number of probe Runs; the rest of the traffic falls back.
+	Probing
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Quarantined:
+		return "quarantined"
+	case Probing:
+		return "probing"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Transition is one recorded state-machine edge. Transitions carry no
+// timestamps: with a fixed fault seed and clock, a run's trace is
+// byte-for-byte reproducible.
+type Transition struct {
+	From, To State
+	// Reason is a stable, human-readable cause ("cancel threshold",
+	// "probe failed", ...).
+	Reason string
+	// Gen is the extension generation the transition applied to
+	// (incremented on every successful reload).
+	Gen uint64
+	// Tier is the backoff tier entering the new state.
+	Tier int
+}
+
+// AuditReport is the retained post-mortem of one quarantine: the paper's
+// teardown invariants (§3.2 heap accounting, §3.4 object-table unwinding)
+// checked at the moment the heap left service.
+type AuditReport struct {
+	Ext    string
+	Gen    uint64
+	Reason string
+	// PopulatedPages is the heap's demand-paging charge counter;
+	// MappedPages recounts the per-page flags; ExpectedPages derives the
+	// count from allocator carving. All three must agree.
+	PopulatedPages, MappedPages, ExpectedPages uint64
+	// HeldRefs and HeldLocks count kernel-object references and
+	// extension locks still held across handles — dangling object-table
+	// entries if nonzero.
+	HeldRefs, HeldLocks int
+	// ConsistencyErr is the allocator CheckConsistency failure, if any.
+	ConsistencyErr string
+	// Clean reports whether every invariant held.
+	Clean bool
+}
+
+// OpenError is returned while the circuit is open (Quarantined) or the
+// half-open probe quota is exhausted (Probing): the caller should serve
+// the request on its user-space path. It matches ErrFallback and
+// ErrUnloaded via errors.Is, so existing fallback checks keep working.
+type OpenError struct {
+	Ext   string
+	State State
+}
+
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("supervisor: extension %q circuit %s, serve via user-space fallback", e.Ext, e.State)
+}
+
+// Is makes errors.Is(err, kflex.ErrFallback) and errors.Is(err,
+// kflex.ErrUnloaded) hold for every OpenError.
+func (e *OpenError) Is(target error) bool {
+	return target == kflex.ErrFallback || target == kflex.ErrUnloaded
+}
+
+// Tuning sets the circuit-breaker parameters. Zero values take defaults.
+type Tuning struct {
+	// BackoffBase is the first quarantine duration; each further tier
+	// doubles it (default 10ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff (default 1s).
+	BackoffMax time.Duration
+	// ProbeRuns is how many consecutive probe successes close the
+	// half-open circuit (default 8).
+	ProbeRuns int
+	// MaxConcurrentProbes bounds in-flight probe Runs while half-open;
+	// excess traffic falls back (default 2).
+	MaxConcurrentProbes int
+	// JitterSeed seeds the deterministic backoff jitter (default 1).
+	JitterSeed int64
+	// Now is the clock; tests inject a fake clock so backoff expiry — and
+	// with it the whole transition trace — is independent of wall time.
+	// Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Config describes a supervised extension.
+type Config struct {
+	// Runtime loads each generation of the extension.
+	Runtime *kflex.Runtime
+	// Spec is reloaded verbatim on every recovery: verification and Kie
+	// instrumentation re-run against a fresh heap.
+	Spec kflex.Spec
+	// NumCPUs is how many handles each generation creates; Run's cpu
+	// argument must stay below it (default 1). Like kflex.Handle, each
+	// cpu index must not be used concurrently with itself.
+	NumCPUs int
+	// Init re-initialises a freshly loaded generation (e.g. replaying a
+	// durable store into the new heap) before it takes traffic. An Init
+	// failure counts as a failed probe: the generation is discarded and
+	// the quarantine moves to the next backoff tier.
+	Init func(ext *kflex.Extension, handles []*kflex.Handle) error
+	// Tuning sets circuit-breaker parameters.
+	Tuning Tuning
+}
+
+// Supervisor wraps one extension with the lifecycle state machine. All
+// methods are safe for concurrent use, subject to the per-cpu handle rule.
+type Supervisor struct {
+	cfg Config
+
+	mu       sync.Mutex
+	state    State
+	gen      uint64
+	ext      *kflex.Extension
+	handles  []*kflex.Handle
+	tier     int
+	reloadAt time.Time
+	// probeLeft is the number of further probe successes required to
+	// close the circuit; probesInFlight bounds half-open concurrency.
+	probeLeft      int
+	probesInFlight int
+	rng            *rand.Rand
+	trace          []Transition
+	audits         []AuditReport
+	reloads        uint64
+}
+
+// New loads the extension and starts it Healthy. The Init callback runs
+// for the initial generation too, so generation 0 and every reload share
+// one initialisation path.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Runtime == nil {
+		return nil, errors.New("supervisor: Config.Runtime is required")
+	}
+	if cfg.NumCPUs <= 0 {
+		cfg.NumCPUs = 1
+	}
+	if cfg.Tuning.BackoffBase <= 0 {
+		cfg.Tuning.BackoffBase = 10 * time.Millisecond
+	}
+	if cfg.Tuning.BackoffMax <= 0 {
+		cfg.Tuning.BackoffMax = time.Second
+	}
+	if cfg.Tuning.BackoffMax < cfg.Tuning.BackoffBase {
+		cfg.Tuning.BackoffMax = cfg.Tuning.BackoffBase
+	}
+	if cfg.Tuning.ProbeRuns <= 0 {
+		cfg.Tuning.ProbeRuns = 8
+	}
+	if cfg.Tuning.MaxConcurrentProbes <= 0 {
+		cfg.Tuning.MaxConcurrentProbes = 2
+	}
+	if cfg.Tuning.JitterSeed == 0 {
+		cfg.Tuning.JitterSeed = 1
+	}
+	if cfg.Tuning.Now == nil {
+		cfg.Tuning.Now = time.Now
+	}
+	s := &Supervisor{
+		cfg:   cfg,
+		state: Healthy,
+		rng:   rand.New(rand.NewSource(cfg.Tuning.JitterSeed)),
+	}
+	ext, handles, err := s.loadGeneration()
+	if err != nil {
+		return nil, err
+	}
+	s.ext, s.handles = ext, handles
+	return s, nil
+}
+
+// loadGeneration loads a fresh extension instance (re-running verification
+// and Kie instrumentation, instantiating a fresh heap) and runs Init.
+func (s *Supervisor) loadGeneration() (*kflex.Extension, []*kflex.Handle, error) {
+	ext, err := s.cfg.Runtime.Load(s.cfg.Spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("supervisor: reload: %w", err)
+	}
+	handles := make([]*kflex.Handle, s.cfg.NumCPUs)
+	for cpu := range handles {
+		handles[cpu] = ext.Handle(cpu)
+	}
+	if s.cfg.Init != nil {
+		if err := s.cfg.Init(ext, handles); err != nil {
+			ext.Unload()
+			ext.Close()
+			return nil, nil, fmt.Errorf("supervisor: init: %w", err)
+		}
+	}
+	return ext, handles, nil
+}
+
+// Run invokes the supervised extension for one event on the given cpu,
+// driving the lifecycle state machine: it performs due reloads, admits or
+// rejects half-open probes, and quarantines on degradation. An error
+// matching kflex.ErrFallback (an *OpenError or *kflex.DegradedError) means
+// the caller must serve the request on its user-space path.
+func (s *Supervisor) Run(cpu int, event any, hctx []byte) (kflex.Result, error) {
+	return s.run(cpu, func(h *kflex.Handle) (kflex.Result, error) {
+		return h.Run(event, hctx)
+	})
+}
+
+// RunContext is Run with caller deadline propagation: ctx expiry triggers
+// the same cooperative cancellation/unwinding path as the quantum
+// watchdog (see kflex.Handle.RunContext).
+func (s *Supervisor) RunContext(ctx context.Context, cpu int, event any, hctx []byte) (kflex.Result, error) {
+	return s.run(cpu, func(h *kflex.Handle) (kflex.Result, error) {
+		return h.RunContext(ctx, event, hctx)
+	})
+}
+
+func (s *Supervisor) run(cpu int, invoke func(*kflex.Handle) (kflex.Result, error)) (kflex.Result, error) {
+	s.mu.Lock()
+	if s.state == Quarantined {
+		if s.cfg.Tuning.Now().Before(s.reloadAt) {
+			err := &OpenError{Ext: s.name(), State: Quarantined}
+			s.mu.Unlock()
+			return kflex.Result{}, err
+		}
+		s.reloadLocked()
+	}
+	switch s.state {
+	case Healthy:
+		h, gen := s.handles[cpu], s.gen
+		s.mu.Unlock()
+		res, err := invoke(h)
+		if degradedOutcome(res, err, h) {
+			s.quarantineOn(gen, "cancel threshold")
+		}
+		return res, err
+
+	case Probing:
+		if s.probesInFlight >= s.cfg.Tuning.MaxConcurrentProbes {
+			err := &OpenError{Ext: s.name(), State: Probing}
+			s.mu.Unlock()
+			return kflex.Result{}, err
+		}
+		s.probesInFlight++
+		h, gen := s.handles[cpu], s.gen
+		s.mu.Unlock()
+		res, err := invoke(h)
+		s.settleProbe(gen, res, err)
+		return res, err
+
+	default: // Quarantined: reload failed, circuit stays open.
+		err := &OpenError{Ext: s.name(), State: Quarantined}
+		s.mu.Unlock()
+		return kflex.Result{}, err
+	}
+}
+
+// degradedOutcome reports whether an invocation outcome shows the
+// extension has been retired: either the runtime already returns the
+// typed fallback error, or this very run tripped the cancel threshold.
+func degradedOutcome(res kflex.Result, err error, h *kflex.Handle) bool {
+	if err != nil {
+		return errors.Is(err, kflex.ErrFallback)
+	}
+	return res.Cancelled != kflex.CancelNone && h.Extension().Degraded()
+}
+
+// quarantineOn quarantines generation gen if it is still the live,
+// Healthy generation; stale outcomes from a previous generation are
+// ignored so an in-flight run on an old heap can't re-open a circuit the
+// supervisor already cycled.
+func (s *Supervisor) quarantineOn(gen uint64, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen != s.gen || s.state != Healthy {
+		return
+	}
+	s.record(Healthy, Degraded, reason)
+	s.quarantineLocked("heap quarantined after " + reason)
+}
+
+// settleProbe accounts the outcome of one half-open probe.
+func (s *Supervisor) settleProbe(gen uint64, res kflex.Result, err error) {
+	probeOK := err == nil && res.Cancelled == kflex.CancelNone
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probesInFlight--
+	if gen != s.gen || s.state != Probing {
+		return
+	}
+	if !probeOK {
+		s.record(Probing, Quarantined, "probe failed")
+		s.quarantineLocked("probe failed")
+		return
+	}
+	s.probeLeft--
+	if s.probeLeft <= 0 {
+		s.tier = 0
+		s.record(Probing, Healthy, "probes succeeded")
+		s.state = Healthy
+	}
+}
+
+// quarantineLocked retires the current generation: the runtime unload
+// stops further execution, the teardown audit runs (fault injection
+// disarmed) and is retained, the heap's pages are detached, and the
+// reload deadline is set by capped exponential backoff with deterministic
+// jitter. Callers record the edge into Degraded/Quarantined themselves;
+// this records the Degraded→Quarantined edge when coming from Healthy.
+func (s *Supervisor) quarantineLocked(reason string) {
+	s.ext.Unload()
+	s.audits = append(s.audits, s.auditLocked(reason))
+	s.ext.Close() // detach heap pages (§3.2 teardown)
+	if s.state == Degraded || s.state == Healthy {
+		s.record(Degraded, Quarantined, reason)
+	}
+	s.state = Quarantined
+	s.reloadAt = s.cfg.Tuning.Now().Add(s.backoffLocked())
+	s.tier++
+}
+
+// reloadLocked performs the due reload: a fresh generation is loaded and
+// initialised; success half-opens the circuit, failure re-quarantines at
+// the next backoff tier.
+func (s *Supervisor) reloadLocked() {
+	ext, handles, err := s.loadGeneration()
+	if err != nil {
+		s.record(Quarantined, Quarantined, "reload failed")
+		s.reloadAt = s.cfg.Tuning.Now().Add(s.backoffLocked())
+		s.tier++
+		return
+	}
+	s.ext, s.handles = ext, handles
+	s.gen++
+	s.reloads++
+	s.probeLeft = s.cfg.Tuning.ProbeRuns
+	s.probesInFlight = 0
+	s.record(Quarantined, Probing, "reloaded")
+	s.state = Probing
+}
+
+// backoffLocked returns min(Base<<tier, Max) with deterministic jitter in
+// [d/2, d], drawn from the seeded source.
+func (s *Supervisor) backoffLocked() time.Duration {
+	d := s.cfg.Tuning.BackoffBase << s.tier
+	if d <= 0 || d > s.cfg.Tuning.BackoffMax {
+		d = s.cfg.Tuning.BackoffMax
+	}
+	return d/2 + time.Duration(s.rng.Int63n(int64(d/2)+1))
+}
+
+// auditLocked checks the teardown invariants of the current generation
+// with fault injection disarmed, so observation can't itself inject.
+func (s *Supervisor) auditLocked(reason string) AuditReport {
+	if plan := s.cfg.Spec.FaultPlan; plan.Enabled() {
+		plan.Disarm()
+		defer plan.Enable()
+	}
+	rep := AuditReport{Ext: s.name(), Gen: s.gen, Reason: reason}
+	rep.HeldRefs, rep.HeldLocks = s.ext.AuditHeld()
+	if h := s.ext.Heap(); h != nil {
+		rep.PopulatedPages = h.PopulatedPages()
+		rep.MappedPages = h.MappedPages()
+	}
+	if a := s.ext.Alloc(); a != nil {
+		rep.ExpectedPages = a.ExpectedPopulatedPages()
+		if err := a.CheckConsistency(); err != nil {
+			rep.ConsistencyErr = err.Error()
+		}
+	}
+	rep.Clean = rep.ConsistencyErr == "" &&
+		rep.HeldRefs == 0 && rep.HeldLocks == 0 &&
+		rep.PopulatedPages == rep.MappedPages &&
+		rep.PopulatedPages == rep.ExpectedPages
+	return rep
+}
+
+func (s *Supervisor) record(from, to State, reason string) {
+	s.trace = append(s.trace, Transition{From: from, To: to, Reason: reason, Gen: s.gen, Tier: s.tier})
+}
+
+func (s *Supervisor) name() string {
+	if s.ext != nil {
+		return s.ext.Name()
+	}
+	return s.cfg.Spec.Name
+}
+
+// State returns the current lifecycle state.
+func (s *Supervisor) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Extension returns the live generation (callers must tolerate it being
+// retired concurrently).
+func (s *Supervisor) Extension() *kflex.Extension {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ext
+}
+
+// Gen returns the live generation number (0 for the initial load).
+func (s *Supervisor) Gen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Reloads returns how many successful reloads have happened.
+func (s *Supervisor) Reloads() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reloads
+}
+
+// Trace returns a copy of the recorded transition trace.
+func (s *Supervisor) Trace() []Transition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Transition(nil), s.trace...)
+}
+
+// Audits returns a copy of the retained quarantine audit reports.
+func (s *Supervisor) Audits() []AuditReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]AuditReport(nil), s.audits...)
+}
+
+// Close retires the live generation and releases its resources.
+func (s *Supervisor) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ext != nil {
+		s.ext.Unload()
+		s.ext.Close()
+	}
+}

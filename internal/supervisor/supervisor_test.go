@@ -1,0 +1,175 @@
+package supervisor_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"kflex"
+	"kflex/asm"
+	"kflex/insn"
+	"kflex/internal/kernel"
+	"kflex/internal/supervisor"
+)
+
+// trivialSpec returns an extension that serves every run successfully.
+func trivialSpec() kflex.Spec {
+	return kflex.Spec{
+		Name:     "unit-ok",
+		Insns:    asm.New().Ret(kernel.XDPPass).MustAssemble(),
+		Hook:     kflex.HookXDP,
+		Mode:     kflex.ModeKFlex,
+		HeapSize: 1 << 16,
+	}
+}
+
+// spinningSpec returns an extension whose every run is quantum-cancelled:
+// with CancelThreshold 1 it degrades deterministically on first use, with
+// no fault plan involved.
+func spinningSpec() kflex.Spec {
+	prog := asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R6, insn.R0).
+		Label("loop").
+		Load(insn.R2, insn.R6, 8, 8).
+		Ja("loop").
+		MustAssemble()
+	return kflex.Spec{
+		Name:            "unit-spin",
+		Insns:           prog,
+		Hook:            kflex.HookXDP,
+		Mode:            kflex.ModeKFlex,
+		HeapSize:        1 << 16,
+		QuantumInsns:    2000,
+		LocalCancel:     true,
+		CancelThreshold: 1,
+	}
+}
+
+type clock struct{ now time.Time }
+
+func (c *clock) Now() time.Time          { return c.now }
+func (c *clock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestOpenErrorMatchesSentinels(t *testing.T) {
+	err := error(&supervisor.OpenError{Ext: "x", State: supervisor.Quarantined})
+	if !errors.Is(err, kflex.ErrFallback) {
+		t.Error("OpenError does not match ErrFallback")
+	}
+	if !errors.Is(err, kflex.ErrUnloaded) {
+		t.Error("OpenError does not match ErrUnloaded")
+	}
+}
+
+func TestHealthyRun(t *testing.T) {
+	inits := 0
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: kflex.NewRuntime(),
+		Spec:    trivialSpec(),
+		Init: func(ext *kflex.Extension, handles []*kflex.Handle) error {
+			inits++
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+	if inits != 1 {
+		t.Fatalf("Init ran %d times for the initial generation, want 1", inits)
+	}
+	res, err := sup.Run(0, nil, make([]byte, kflex.HookXDP.CtxSize))
+	if err != nil || res.Ret != kernel.XDPPass {
+		t.Fatalf("healthy Run = (%v, %v)", res.Ret, err)
+	}
+	if s := sup.State(); s != supervisor.Healthy {
+		t.Fatalf("state = %v, want healthy", s)
+	}
+	if sup.Gen() != 0 || sup.Reloads() != 0 || len(sup.Trace()) != 0 {
+		t.Fatalf("fresh supervisor gen=%d reloads=%d trace=%d", sup.Gen(), sup.Reloads(), len(sup.Trace()))
+	}
+}
+
+func TestInitErrorPropagates(t *testing.T) {
+	_, err := supervisor.New(supervisor.Config{
+		Runtime: kflex.NewRuntime(),
+		Spec:    trivialSpec(),
+		Init: func(ext *kflex.Extension, handles []*kflex.Handle) error {
+			return fmt.Errorf("resync exploded")
+		},
+	})
+	if err == nil {
+		t.Fatal("New succeeded despite failing Init")
+	}
+}
+
+// TestRequarantineOnProbeFailure walks the unhappy half of the machine: a
+// spinning extension degrades on first run, reloads after backoff, fails
+// its probe, and re-quarantines at the next backoff tier — repeatedly.
+func TestRequarantineOnProbeFailure(t *testing.T) {
+	clk := &clock{now: time.Unix(0, 0)}
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: kflex.NewRuntime(),
+		Spec:    spinningSpec(),
+		Tuning: supervisor.Tuning{
+			BackoffBase: time.Millisecond,
+			BackoffMax:  4 * time.Millisecond,
+			ProbeRuns:   2,
+			JitterSeed:  7,
+			Now:         clk.Now,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+	ctx := make([]byte, kflex.HookXDP.CtxSize)
+
+	// First run: quantum-cancelled, threshold 1 trips, quarantine.
+	res, err := sup.Run(0, nil, ctx)
+	if err != nil || res.Cancelled != kflex.CancelTerminate {
+		t.Fatalf("first run = (%+v, %v), want a terminate cancellation", res, err)
+	}
+	if s := sup.State(); s != supervisor.Quarantined {
+		t.Fatalf("state after degradation = %v, want quarantined", s)
+	}
+	if audits := sup.Audits(); len(audits) != 1 || !audits[0].Clean {
+		t.Fatalf("quarantine audit = %+v, want one clean report", audits)
+	}
+	// Circuit open, backoff pending: refusal with the fallback sentinel.
+	if _, err := sup.Run(0, nil, ctx); !errors.Is(err, kflex.ErrFallback) {
+		t.Fatalf("quarantined Run err = %v, want ErrFallback", err)
+	}
+
+	// Each recovery attempt reloads, probes, fails, and re-quarantines.
+	for attempt := 1; attempt <= 2; attempt++ {
+		clk.Advance(5 * time.Millisecond) // > BackoffMax: reload is due
+		res, err := sup.Run(0, nil, ctx)
+		if err != nil || res.Cancelled != kflex.CancelTerminate {
+			t.Fatalf("probe %d = (%+v, %v), want a terminate cancellation", attempt, res, err)
+		}
+		if s := sup.State(); s != supervisor.Quarantined {
+			t.Fatalf("state after failed probe %d = %v, want quarantined", attempt, s)
+		}
+		if sup.Reloads() != uint64(attempt) || sup.Gen() != uint64(attempt) {
+			t.Fatalf("after probe %d: reloads=%d gen=%d", attempt, sup.Reloads(), sup.Gen())
+		}
+	}
+	// The trace must show escalating backoff tiers on each re-quarantine.
+	var probeFails []supervisor.Transition
+	for _, tr := range sup.Trace() {
+		if tr.From == supervisor.Probing && tr.To == supervisor.Quarantined {
+			probeFails = append(probeFails, tr)
+		}
+	}
+	if len(probeFails) != 2 {
+		t.Fatalf("probe-failure transitions = %d, want 2: %+v", len(probeFails), sup.Trace())
+	}
+	if probeFails[1].Tier <= probeFails[0].Tier {
+		t.Fatalf("backoff tier did not escalate: %+v", probeFails)
+	}
+	if audits := sup.Audits(); len(audits) != 3 {
+		t.Fatalf("audit reports = %d, want 3 (initial + 2 probe failures)", len(audits))
+	}
+}

@@ -60,6 +60,12 @@ func (e *Exec) loop() (uint64, error) {
 			if quantum > 0 && e.stats.Insns > quantum {
 				return 0, &ExtensionAbort{Kind: CancelTerminate, PC: pc}
 			}
+			// Caller-propagated deadline/cancellation (Handle.RunContext):
+			// observed at probes only, like the terminate word, so the
+			// unwinding path is identical to watchdog cancellation.
+			if e.cancelReq.Load() {
+				return 0, &ExtensionAbort{Kind: CancelTerminate, PC: pc}
+			}
 			// Injected terminate-word invalidation, observed only at this
 			// probe (keyed by its CP id) so the program is not poisoned
 			// for future invocations.

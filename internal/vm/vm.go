@@ -178,9 +178,13 @@ func (p *Program) Cancel() {
 // Unload marks the program unloaded: future invocations fail with
 // ErrUnloaded, and in-flight ones fault at their next probe. The runtime
 // uses it to retire extensions that exceed their cancellation budget.
-func (p *Program) Unload() {
-	p.unloaded.Store(true)
+// Unload is idempotent and safe to call concurrently with Run; it reports
+// whether this call performed the transition (false when the program was
+// already unloaded).
+func (p *Program) Unload() bool {
+	first := p.unloaded.CompareAndSwap(false, true)
 	p.terminate.Store(0)
+	return first
 }
 
 // Unloaded reports whether a cancellation has unloaded the program.
@@ -218,6 +222,15 @@ type Exec struct {
 	// startNS is the wall-clock start of the in-flight invocation
 	// (0 when idle); the watchdog polls it (§4.3).
 	startNS atomic.Int64
+
+	// cancelReq is a per-invocation cancellation request (caller deadline
+	// or context cancellation, §4.3's cooperative termination scoped to
+	// one invocation). Probes and lock spins observe it exactly like a
+	// terminate-word invalidation. It is armed/cleared by the caller
+	// (Handle.RunContext) around one Run, never by Run itself, so a
+	// request that lands after the invocation ends cannot leak into the
+	// next one.
+	cancelReq atomic.Bool
 
 	stats Stats
 	hc    kernel.HelperCtx
@@ -286,7 +299,7 @@ func (p *Program) NewExec(cpu int) *Exec {
 			return pinVABase + uint64(len(e.pins)-1)*pinStride
 		},
 		Cancelled: func() bool {
-			return p.terminate.Load() == 0 ||
+			return p.terminate.Load() == 0 || e.cancelReq.Load() ||
 				(p.opts.QuantumInsns > 0 && e.stats.Insns > p.opts.QuantumInsns)
 		},
 	}
@@ -511,6 +524,25 @@ func (e *Exec) store(addr uint64, size int, val uint64) error {
 func (e *Exec) RunningSinceNS() (int64, bool) {
 	t := e.startNS.Load()
 	return t, t != 0
+}
+
+// RequestCancel asks the in-flight invocation on this Exec to cancel
+// cooperatively: the next terminate probe (or lock-spin poll) observes the
+// request and unwinds through the same object-table walk as a watchdog
+// cancellation (§3.3, §4.3). Safe to call from any goroutine. The request
+// stays pending until ClearCancel, so callers must bracket one invocation
+// with ClearCancel → arm → Run → ClearCancel (Handle.RunContext does).
+func (e *Exec) RequestCancel() { e.cancelReq.Store(true) }
+
+// ClearCancel withdraws a pending per-invocation cancellation request.
+func (e *Exec) ClearCancel() { e.cancelReq.Store(false) }
+
+// HeldCounts reports the kernel objects (object-table entries) and spin
+// locks this Exec currently holds. It is a diagnostic snapshot for
+// post-mortem audits: on a quiesced Exec both counts must be zero, since
+// both normal exit and cancellation release everything (§3.3).
+func (e *Exec) HeldCounts() (refs, locks int) {
+	return len(e.held), len(e.heldLocks)
 }
 
 func nowNS() int64 { return time.Now().UnixNano() }

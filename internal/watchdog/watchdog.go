@@ -8,6 +8,7 @@
 package watchdog
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +105,43 @@ func (w *Watchdog) Stop() {
 	}
 	close(stop)
 	<-done
+}
+
+// OneShot is a single-invocation watchdog: it arms once, fires at most
+// once, and is then discarded. It carries caller deadlines into the
+// runtime (§4.3): where the periodic watchdog polls for stalls at second
+// granularity, a OneShot reacts to an externally supplied expiry — a
+// context deadline or explicit caller cancellation — and triggers the same
+// cooperative cancellation path (terminate-probe fault, object-table
+// unwinding).
+type OneShot struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// ArmContext arms a one-shot watchdog for one invocation: when ctx is
+// cancelled or its deadline expires, fire runs (exactly once). Stop
+// disarms it and waits for the watcher to exit, so after Stop returns no
+// late fire can occur.
+func ArmContext(ctx context.Context, fire func()) *OneShot {
+	o := &OneShot{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(o.done)
+		select {
+		case <-ctx.Done():
+			fire()
+		case <-o.stop:
+		}
+	}()
+	return o
+}
+
+// Stop disarms the one-shot and blocks until its watcher has exited.
+// Idempotent.
+func (o *OneShot) Stop() {
+	o.once.Do(func() { close(o.stop) })
+	<-o.done
 }
 
 func (w *Watchdog) scan() {

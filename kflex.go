@@ -32,6 +32,7 @@
 package kflex
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -93,12 +94,38 @@ var ErrUnloaded = vm.ErrUnloaded
 // at cancellation points; Result.Abort carries the fault kind and PC.
 var ErrExtensionAbort = vm.ErrExtensionAbort
 
-// ErrFallback is returned by Handle.Run once an extension has been degraded
-// (cancelled more often than Spec.CancelThreshold and auto-unloaded): the
-// caller should serve the request on its user-space path instead — the
-// paper's offload-miss path (§5). It wraps ErrUnloaded, so existing
-// errors.Is(err, ErrUnloaded) checks keep working.
+// ErrFallback is the sentinel matched (via errors.Is) by the errors
+// Handle.Run returns once an extension has been degraded (cancelled more
+// often than Spec.CancelThreshold and auto-unloaded): the caller should
+// serve the request on its user-space path instead — the paper's
+// offload-miss path (§5). It wraps ErrUnloaded, so existing
+// errors.Is(err, ErrUnloaded) checks keep working. The concrete error is a
+// *DegradedError identifying which extension degraded.
 var ErrFallback = fmt.Errorf("kflex: extension degraded, serve via user-space fallback: %w", ErrUnloaded)
+
+// DegradedError is the error Handle.Run returns for a degraded (retired)
+// extension. It names the extension and its completed-cancellation count
+// at retirement, so callers multiplexing several extensions can tell which
+// one to fall back for. It matches both ErrFallback and ErrUnloaded via
+// errors.Is, preserving every pre-existing check.
+type DegradedError struct {
+	// Ext is the Spec.Name of the degraded extension.
+	Ext string
+	// Cancellations is the completed-cancellation count when the
+	// extension was retired.
+	Cancellations uint64
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("kflex: extension %q degraded after %d cancellations, serve via user-space fallback",
+		e.Ext, e.Cancellations)
+}
+
+// Is makes errors.Is(err, ErrFallback) and errors.Is(err, ErrUnloaded)
+// hold for every DegradedError.
+func (e *DegradedError) Is(target error) bool {
+	return target == ErrFallback || target == ErrUnloaded
+}
 
 // Spec describes an extension to load.
 type Spec struct {
@@ -215,6 +242,7 @@ type Extension struct {
 	fault           *faultinject.Plan
 	cancelThreshold uint64
 	degraded        atomic.Bool
+	unloads         atomic.Uint64
 }
 
 // Load verifies, instruments, and loads an extension (Figure 1's three
@@ -340,6 +368,9 @@ type Handle struct {
 	ext  *Extension
 }
 
+// Extension returns the extension this handle executes.
+func (h *Handle) Extension() *Extension { return h.ext }
+
 // Run invokes the extension for one event. ctx must match the hook's
 // context size; event is the hook-specific payload (e.g. a packet). Once
 // the extension is degraded (see Spec.CancelThreshold), Run returns
@@ -347,18 +378,46 @@ type Handle struct {
 func (h *Handle) Run(event any, ctx []byte) (Result, error) {
 	e := h.ext
 	if e.degraded.Load() {
-		return Result{}, ErrFallback
+		return Result{}, &DegradedError{Ext: e.name, Cancellations: e.prog.Cancels()}
 	}
 	res, err := h.exec.Run(event, ctx)
 	if err == nil && res.Cancelled != CancelNone &&
 		e.cancelThreshold > 0 && e.prog.Cancels() >= e.cancelThreshold {
 		// Graceful degradation: the extension keeps getting cancelled,
 		// so retire it and direct callers to the user-space path.
-		if e.degraded.CompareAndSwap(false, true) {
-			e.prog.Unload()
-		}
+		e.Unload()
 	}
 	return res, err
+}
+
+// RunContext is Run with caller deadline propagation (§4.3): it arms a
+// one-shot watchdog on ctx so a caller timeout or cancellation triggers the
+// same cooperative cancellation path as the quantum watchdog — the
+// invocation faults at its next terminate probe, releases held kernel
+// objects via its object table, and unwinds — instead of blocking the
+// caller. The cancellation follows the extension's configured policy,
+// exactly like a watchdog firing: with Spec.LocalCancel it is scoped to
+// this invocation, otherwise the extension unloads.
+//
+// An already-expired ctx returns ctx.Err() without executing. A mid-run
+// expiry surfaces as a cancelled Result (Cancelled == CancelTerminate) with
+// the hook's default return code, exactly like a watchdog firing.
+func (h *Handle) RunContext(ctx context.Context, event any, hctx []byte) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if ctx.Done() == nil {
+		// No deadline or cancellation to propagate.
+		return h.Run(event, hctx)
+	}
+	// Bracketing discipline: clear any stale request, arm the one-shot,
+	// run, then disarm (Stop waits for the watcher goroutine to exit, so
+	// no fire can race past it) and clear again for the next Run.
+	h.exec.ClearCancel()
+	os := watchdog.ArmContext(ctx, h.exec.RequestCancel)
+	defer h.exec.ClearCancel()
+	defer os.Stop()
+	return h.Run(event, hctx)
 }
 
 // Report returns the Kie instrumentation report (guard/elision statistics,
@@ -385,6 +444,43 @@ func (e *Extension) Unloaded() bool { return e.prog.Unloaded() }
 // Degraded reports whether the extension exceeded its cancellation
 // threshold and was auto-unloaded.
 func (e *Extension) Degraded() bool { return e.degraded.Load() }
+
+// Unload retires the extension: it is marked degraded (subsequent Runs
+// return a *DegradedError) and the program's terminate word is invalidated
+// so in-flight invocations unwind at their next cancellation point.
+// Idempotent and race-free: concurrent calls — including the threshold
+// auto-unload racing a manual Unload, or Unload during Run — retire the
+// extension exactly once; Unload reports whether this call performed the
+// transition.
+func (e *Extension) Unload() bool {
+	if !e.degraded.CompareAndSwap(false, true) {
+		return false
+	}
+	e.prog.Unload()
+	e.unloads.Add(1)
+	return true
+}
+
+// Unloads returns how many degraded transitions the extension performed;
+// it is 1 after any number of Unload calls and threshold trips (regression
+// hook for double-unload races).
+func (e *Extension) Unloads() uint64 { return e.unloads.Load() }
+
+// Name returns the Spec.Name the extension was loaded under.
+func (e *Extension) Name() string { return e.name }
+
+// AuditHeld sums kernel-object references and extension locks currently
+// held across the extension's handles. Both must be zero when no
+// invocation is in flight — the object-table unwinding guarantee (§3.4);
+// the supervisor audits this before quarantining a heap.
+func (e *Extension) AuditHeld() (refs, locksHeld int) {
+	for _, h := range e.handles {
+		r, l := h.exec.HeldCounts()
+		refs += r
+		locksHeld += l
+	}
+	return refs, locksHeld
+}
 
 // ExtLocks returns the extension-view spin-lock operations (nil without a
 // heap); chaos tests use it to assert no lock is left held.
