@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos fuzz vet check clean
+.PHONY: all build test race chaos fuzz vet check bench bench-smoke clean
 
 all: build
 
@@ -21,12 +21,23 @@ race:
 chaos:
 	$(GO) test -short -race -run 'TestChaos' -timeout 120s .
 
-# Brief fuzz sessions for the instruction codec, disassembler, and the
-# text-assembler front end.
+# Brief fuzz sessions for the instruction codec, disassembler, the
+# text-assembler front end, and interpreter/lowered-tier equivalence.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzCodecRoundtrip -fuzztime=20s ./insn/
 	$(GO) test -run=NONE -fuzz=FuzzDisasm -fuzztime=20s ./insn/
 	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=20s ./asm/
+	$(GO) test -run=NONE -fuzz=FuzzLoweredEquivalence -fuzztime=20s .
+
+# The pipeline benchmark: interpreter vs lowered tier on both application
+# offloads, full scale, recorded in BENCH_pipeline.json.
+bench: build
+	$(GO) run ./cmd/kfbench -run pipeline -json BENCH_pipeline.json
+
+# CI-scale pipeline benchmark: sanity-checks that both tiers run and the
+# report is produced, without committing the throwaway numbers.
+bench-smoke: build
+	$(GO) run ./cmd/kfbench -run pipeline -quick -json /tmp/BENCH_pipeline_smoke.json
 
 # The pre-merge gate: vet, build, the full test suite under the race
 # detector (includes the chaos suite), then the short chaos pass alone to

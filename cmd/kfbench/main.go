@@ -21,13 +21,14 @@ func main() {
 	run := flag.String("run", "all", "experiment ID (see -list) or 'all'")
 	quick := flag.Bool("quick", false, "reduced populations and durations")
 	list := flag.Bool("list", false, "list experiment IDs")
+	jsonPath := flag.String("json", "", "write machine-readable report here (pipeline experiment)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(bench.Experiments, "\n"))
 		return
 	}
-	opts := bench.Options{Quick: *quick, Out: os.Stdout}
+	opts := bench.Options{Quick: *quick, Out: os.Stdout, JSONPath: *jsonPath}
 	ids := bench.Experiments
 	if *run != "all" {
 		ids = strings.Split(*run, ",")

@@ -1,0 +1,30 @@
+package insn
+
+// Fingerprint returns a stable 64-bit FNV-1a hash over every field of
+// every instruction in prog. The runtime's staged-compilation cache keys
+// verified/instrumented/lowered artifacts by it (mixed with the load
+// configuration), so it must change whenever any operand changes and must
+// be stable across processes — it deliberately hashes decoded fields, not
+// wire bytes, so programs built with kflex/asm and programs decoded from
+// eBPF wire format fingerprint identically.
+func Fingerprint(prog []Instruction) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, ins := range prog {
+		mix(uint64(ins.Op) | uint64(ins.Dst)<<8 | uint64(ins.Src)<<16 |
+			uint64(uint16(ins.Off))<<24)
+		mix(uint64(uint32(ins.Imm)))
+		mix(ins.Imm64)
+	}
+	return h
+}

@@ -196,6 +196,10 @@ type Config struct {
 	// CancelThreshold auto-unloads the extension after this many
 	// cancellations; Serve then takes the user-space fallback path.
 	CancelThreshold uint64
+	// Interpret runs the KFlex extension on the reference interpreter
+	// instead of the lowered tier (differential testing and the
+	// interpreter side of the pipeline benchmark).
+	Interpret bool
 }
 
 // DefaultConfig mirrors §5.1 with 64 B values.

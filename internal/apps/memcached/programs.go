@@ -180,6 +180,9 @@ type KFlexMC struct {
 	// Fallbacks counts those caused by degradation (kflex.ErrFallback).
 	Errors    uint64
 	Fallbacks uint64
+	// Work accumulates the VM work counters of every successful Execute
+	// (the pipeline benchmark reads insns/guards/dispatches per op).
+	Work kflex.Stats
 }
 
 // NewKFlex loads the KFlex Memcached extension (§5.1). shared enables heap
@@ -198,6 +201,7 @@ func NewKFlex(cfg Config, servers int, shared bool) (*KFlexMC, error) {
 		FaultPlan:       cfg.FaultPlan,
 		LocalCancel:     cfg.LocalCancel,
 		CancelThreshold: cfg.CancelThreshold,
+		Interpret:       cfg.Interpret,
 	})
 	if err != nil {
 		return nil, err
@@ -261,6 +265,7 @@ func (k *KFlexMC) Execute(cpu int, frame []byte) ([]byte, float64, error) {
 	if res.Ret != kernel.XDPTx {
 		return nil, 0, fmt.Errorf("memcached: extension returned %d", res.Ret)
 	}
+	k.Work.Add(res.Stats)
 	return k.pkt.Reply, netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls), nil
 }
 
@@ -290,6 +295,12 @@ func (k *KFlexMC) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim.Se
 
 // Name implements the labeled system.
 func (k *KFlexMC) Name() string { return "KFlex" }
+
+// WorkStats returns the accumulated VM work counters.
+func (k *KFlexMC) WorkStats() kflex.Stats { return k.Work }
+
+// ResetWork clears the accumulated counters (benchmark warmup).
+func (k *KFlexMC) ResetWork() { k.Work = kflex.Stats{} }
 
 // Close releases the extension.
 func (k *KFlexMC) Close() { k.ext.Close() }

@@ -136,6 +136,10 @@ type Config struct {
 	// CancelThreshold auto-unloads the extension after this many
 	// cancellations; Serve then takes the user-space fallback path.
 	CancelThreshold uint64
+	// Interpret runs the KFlex extension on the reference interpreter
+	// instead of the lowered tier (differential testing and the
+	// interpreter side of the pipeline benchmark).
+	Interpret bool
 }
 
 // DefaultConfig mirrors §5.1.
@@ -364,6 +368,9 @@ type KFlexRedis struct {
 	// Fallbacks counts those caused by degradation (kflex.ErrFallback).
 	Errors    uint64
 	Fallbacks uint64
+	// Work accumulates the VM work counters of every successful Execute
+	// (the pipeline benchmark reads insns/guards/dispatches per op).
+	Work kflex.Stats
 }
 
 // NewKFlex loads the Redis extension (§5.1: ~3100 LoC in the paper's C
@@ -388,6 +395,7 @@ func NewKFlex(cfg Config, servers int) (*KFlexRedis, error) {
 		FaultPlan:       cfg.FaultPlan,
 		LocalCancel:     cfg.LocalCancel,
 		CancelThreshold: cfg.CancelThreshold,
+		Interpret:       cfg.Interpret,
 	})
 	if err != nil {
 		return nil, err
@@ -427,6 +435,7 @@ func (k *KFlexRedis) Execute(cpu int, frame []byte) ([]byte, float64, error) {
 	if res.Ret != Served {
 		return nil, 0, fmt.Errorf("redis: extension returned %d", res.Ret)
 	}
+	k.Work.Add(res.Stats)
 	return k.pkt.Reply, netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls), nil
 }
 
@@ -449,6 +458,12 @@ func (k *KFlexRedis) Serve(cpu int, now float64, seq uint64, rng *rand.Rand) sim
 
 // Name labels the system.
 func (k *KFlexRedis) Name() string { return "KFlex" }
+
+// WorkStats returns the accumulated VM work counters.
+func (k *KFlexRedis) WorkStats() kflex.Stats { return k.Work }
+
+// ResetWork clears the accumulated counters (benchmark warmup).
+func (k *KFlexRedis) ResetWork() { k.Work = kflex.Stats{} }
 
 // Close releases the extension.
 func (k *KFlexRedis) Close() { k.ext.Close() }

@@ -27,6 +27,9 @@ type Options struct {
 	// Quick shrinks populations and simulated durations (CI-friendly).
 	Quick bool
 	Out   io.Writer
+	// JSONPath, when set, makes JSON-emitting experiments (pipeline) write
+	// their machine-readable report there.
+	JSONPath string
 }
 
 func (o Options) duration() float64 {
@@ -60,7 +63,7 @@ func (o Options) dsOps() int {
 // Experiments lists every runnable experiment ID.
 var Experiments = []string{
 	"tab1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab3",
-	"abl-elision", "abl-probe", "abl-perfmode", "abl-xlat",
+	"abl-elision", "abl-probe", "abl-perfmode", "abl-xlat", "pipeline",
 }
 
 // Run executes the experiment named id.
@@ -90,6 +93,8 @@ func Run(id string, o Options) error {
 		return AblPerfMode(o)
 	case "abl-xlat":
 		return AblXlat(o)
+	case "pipeline":
+		return RunPipeline(o)
 	}
 	return fmt.Errorf("bench: unknown experiment %q (have %v)", id, Experiments)
 }

@@ -1,0 +1,351 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+
+	"kflex/insn"
+	"kflex/internal/compile"
+	"kflex/internal/heap"
+	"kflex/internal/kernel"
+	"kflex/internal/kie"
+	"kflex/internal/vm"
+)
+
+// lower is a shorthand over a raw instrumented stream.
+func lower(t *testing.T, prog []insn.Instruction, cfg compile.Config) *compile.Unit {
+	t.Helper()
+	u, err := compile.Lower(&kie.Report{Prog: prog}, cfg)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return u
+}
+
+func ops(u *compile.Unit) []compile.Op {
+	out := make([]compile.Op, len(u.Code))
+	for i, ins := range u.Code {
+		out[i] = ins.Op
+	}
+	return out
+}
+
+// TestFusion covers each fused superinstruction and the cases where fusion
+// must be refused.
+func TestFusion(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []insn.Instruction
+		cfg  compile.Config
+		want []compile.Op
+		m    compile.Metrics
+	}{
+		{
+			name: "guard+load fuses",
+			prog: []insn.Instruction{
+				insn.Guard(insn.R1),
+				insn.LoadMem(insn.R2, insn.R1, 0, 8),
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpGuardLoad, compile.OpExit},
+			m:    compile.Metrics{FusedGuardLoad: 1},
+		},
+		{
+			name: "read-guard+load fuses",
+			prog: []insn.Instruction{
+				insn.GuardRd(insn.R1),
+				insn.LoadMem(insn.R2, insn.R1, 8, 4),
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpGuardRdLoad, compile.OpExit},
+			m:    compile.Metrics{FusedGuardLoad: 1},
+		},
+		{
+			name: "perf mode deletes the read guard instead of fusing",
+			prog: []insn.Instruction{
+				insn.GuardRd(insn.R1),
+				insn.LoadMem(insn.R2, insn.R1, 8, 4),
+				insn.Exit(),
+			},
+			cfg:  compile.Config{PerfMode: true},
+			want: []compile.Op{compile.OpLoad, compile.OpExit},
+			m:    compile.Metrics{ReadGuardsDropped: 1},
+		},
+		{
+			name: "guard+store-reg fuses",
+			prog: []insn.Instruction{
+				insn.Guard(insn.R1),
+				insn.StoreMem(insn.R1, 0, insn.R2, 8),
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpGuardStoreReg, compile.OpExit},
+			m:    compile.Metrics{FusedGuardStore: 1},
+		},
+		{
+			name: "guard+store-imm fuses",
+			prog: []insn.Instruction{
+				insn.Guard(insn.R1),
+				insn.StoreImm(insn.R1, 4, 99, 4),
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpGuardStoreImm, compile.OpExit},
+			m:    compile.Metrics{FusedGuardStore: 1},
+		},
+		{
+			name: "guard does not fuse with an R10-relative load",
+			prog: []insn.Instruction{
+				insn.Guard(insn.R1),
+				insn.LoadMem(insn.R2, insn.R10, -8, 8), // spill reload, not the guarded access
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpGuard, compile.OpLoad, compile.OpExit},
+		},
+		{
+			name: "guard does not fuse with a store through another register",
+			prog: []insn.Instruction{
+				insn.Guard(insn.R1),
+				insn.StoreMem(insn.R2, 0, insn.R3, 8),
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpGuard, compile.OpStoreReg, compile.OpExit},
+		},
+		{
+			name: "guard does not fuse with an atomic",
+			prog: []insn.Instruction{
+				insn.Guard(insn.R1),
+				insn.Atomic(0, insn.R1, 0, insn.R2, 8), // ATOMIC_ADD
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpGuard, compile.OpAtomic, compile.OpExit},
+		},
+		{
+			name: "branch target between the pair prevents fusion",
+			prog: []insn.Instruction{
+				insn.JmpImm(insn.JmpEq, insn.R3, 0, 1), // -> the load, skipping the guard
+				insn.Guard(insn.R1),
+				insn.LoadMem(insn.R2, insn.R1, 0, 8),
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpJcc64Imm, compile.OpGuard, compile.OpLoad, compile.OpExit},
+		},
+		{
+			name: "probe at pc 0 fuses with its back-edge ja",
+			prog: []insn.Instruction{
+				insn.Probe(0),
+				insn.Ja(-2), // back to the probe
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpProbeJa, compile.OpExit},
+			m:    compile.Metrics{FusedProbeBranch: 1},
+		},
+		{
+			name: "probe fuses with a conditional back edge",
+			prog: []insn.Instruction{
+				insn.Mov64Imm(insn.R1, 4),
+				insn.Probe(0),
+				insn.JmpImm(insn.JmpNe, insn.R1, 0, -3), // -> insn 0
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpMov64Imm, compile.OpProbeJcc, compile.OpExit},
+			m:    compile.Metrics{FusedProbeBranch: 1},
+		},
+		{
+			name: "probe followed by a non-jump stays unfused",
+			prog: []insn.Instruction{
+				insn.Probe(0),
+				insn.Mov64Imm(insn.R0, 1),
+				insn.Exit(),
+			},
+			want: []compile.Op{compile.OpProbe, compile.OpMov64Imm, compile.OpExit},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := lower(t, tc.prog, tc.cfg)
+			got := ops(u)
+			if len(got) != len(tc.want) {
+				t.Fatalf("lowered ops = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("lowered op[%d] = %v, want %v (full: %v)", i, got[i], tc.want[i], tc.want)
+				}
+			}
+			tc.m.SrcInsns = len(tc.prog)
+			tc.m.LoweredInsns = len(tc.want)
+			if u.Metrics != tc.m {
+				t.Fatalf("metrics = %+v, want %+v", u.Metrics, tc.m)
+			}
+		})
+	}
+}
+
+// TestPreResolvedOperands checks that lowering folds operand work the
+// interpreter redoes per dispatch: masked shifts and the two-slot LDDW.
+func TestPreResolvedOperands(t *testing.T) {
+	u := lower(t, []insn.Instruction{
+		insn.Alu64Imm(insn.AluLsh, insn.R1, 67), // 67 & 63 = 3
+		insn.Alu32Imm(insn.AluRsh, insn.R2, 35), // 35 & 31 = 3
+		insn.LoadImm(insn.R3, 0xdeadbeefcafe),
+		insn.Exit(),
+	}, compile.Config{})
+	if u.Code[0].Op != compile.OpLsh64Imm || u.Code[0].Imm != 3 {
+		t.Fatalf("lsh64: %+v, want pre-masked Imm 3", u.Code[0])
+	}
+	if u.Code[1].Op != compile.OpRsh32Imm || u.Code[1].Imm != 3 {
+		t.Fatalf("rsh32: %+v, want pre-masked Imm 3", u.Code[1])
+	}
+	// LDDW (two encoded slots) is one decoded instruction and one lowered
+	// dispatch carrying the full 64-bit constant.
+	if u.Code[2].Op != compile.OpMov64Imm || u.Code[2].Imm != 0xdeadbeefcafe {
+		t.Fatalf("lddw: %+v, want OpMov64Imm with the full constant", u.Code[2])
+	}
+}
+
+func TestLinkUnknownHelper(t *testing.T) {
+	u := &compile.Unit{HelperIDs: []int32{9999}}
+	_, err := u.Link(compile.Linkage{Helpers: kernel.NewRegistry()})
+	if err == nil || !strings.Contains(err.Error(), "unknown helper 9999") {
+		t.Fatalf("Link err = %v, want unknown helper 9999", err)
+	}
+}
+
+func TestLowerRejectsOutOfRangeBranch(t *testing.T) {
+	_, err := compile.Lower(&kie.Report{Prog: []insn.Instruction{
+		insn.Ja(5),
+		insn.Exit(),
+	}}, compile.Config{})
+	if err == nil || !strings.Contains(err.Error(), "branch target") {
+		t.Fatalf("Lower err = %v, want branch-target error", err)
+	}
+}
+
+// runBoth executes one instrumented stream on both tiers against identical
+// fresh state and returns both results. The error return of Run must be nil
+// on both tiers (cancelled invocations report through Result).
+func runBoth(t *testing.T, prog []insn.Instruction, cps []kie.CP, quantum uint64) (interp, lowered vm.Result) {
+	t.Helper()
+	run := func(lower bool) vm.Result {
+		h, err := heap.New(1 << 16)
+		if err != nil {
+			t.Fatalf("heap: %v", err)
+		}
+		rep := &kie.Report{Prog: prog, CPs: cps}
+		opts := vm.Options{Hook: kernel.HookBench, Kernel: kernel.New(), Heap: h, QuantumInsns: quantum}
+		if lower {
+			u, err := compile.Lower(rep, compile.Config{})
+			if err != nil {
+				t.Fatalf("Lower: %v", err)
+			}
+			linked, err := u.Link(compile.Linkage{
+				HeapBase: h.ExtBase(), HeapMask: h.Mask(), UserBase: h.UserBase(),
+				Helpers: opts.Kernel.Helpers,
+			})
+			if err != nil {
+				t.Fatalf("Link: %v", err)
+			}
+			opts.Lowered = linked
+		}
+		p, err := vm.New(rep, opts)
+		if err != nil {
+			t.Fatalf("vm.New: %v", err)
+		}
+		res, err := p.NewExec(0).Run(nil, make([]byte, kernel.HookBench.CtxSize))
+		if err != nil {
+			t.Fatalf("Run(lowered=%v): %v", lower, err)
+		}
+		return res
+	}
+	return run(false), run(true)
+}
+
+// normalize zeroes the documented tier-divergent counters.
+func normalize(r vm.Result) vm.Result {
+	r.Stats.Dispatches, r.Stats.Fused = 0, 0
+	return r
+}
+
+func assertSameResult(t *testing.T, interp, lowered vm.Result) {
+	t.Helper()
+	ni, nl := normalize(interp), normalize(lowered)
+	if ni.Ret != nl.Ret || ni.Cancelled != nl.Cancelled || ni.Stats != nl.Stats {
+		t.Fatalf("tiers diverge:\ninterp:  %+v\nlowered: %+v", ni, nl)
+	}
+	switch {
+	case (ni.Abort == nil) != (nl.Abort == nil):
+		t.Fatalf("abort presence diverges: interp %+v, lowered %+v", ni.Abort, nl.Abort)
+	case ni.Abort != nil && (ni.Abort.Kind != nl.Abort.Kind || ni.Abort.PC != nl.Abort.PC):
+		t.Fatalf("abort diverges: interp %+v, lowered %+v", ni.Abort, nl.Abort)
+	}
+}
+
+// TestFusedFaultMidPair faults the access half of a fused guard+store: the
+// guard sanitizes into the heap, the store lands on an unpopulated page.
+// Both tiers must attribute the abort to the access instruction's PC and
+// agree on the work counters at the point of cancellation.
+func TestFusedFaultMidPair(t *testing.T) {
+	prog := []insn.Instruction{
+		insn.Mov64Imm(insn.R1, 8192), // an unpopulated heap page
+		insn.Guard(insn.R1),
+		insn.StoreMem(insn.R1, 0, insn.R2, 8), // pc 2: the faulting access
+		insn.Mov64Imm(insn.R0, 7),
+		insn.Exit(),
+	}
+	cps := []kie.CP{{ID: 0, Insn: 2, Kind: kie.CPHeap}}
+	interp, lowered := runBoth(t, prog, cps, 0)
+	assertSameResult(t, interp, lowered)
+	if lowered.Abort == nil || lowered.Abort.PC != 2 {
+		t.Fatalf("abort = %+v, want heap fault at pc 2 (the fused access)", lowered.Abort)
+	}
+	if lowered.Cancelled != vm.CancelFault {
+		t.Fatalf("cancelled = %v, want %v", lowered.Cancelled, vm.CancelFault)
+	}
+	if lowered.Stats.Fused == 0 || lowered.Stats.Dispatches >= lowered.Stats.Insns {
+		t.Fatalf("stats = %+v, want a fused dispatch retiring two insns", lowered.Stats)
+	}
+}
+
+// TestFusedProbeQuantum spins a probe+ja self-loop at pc 0 until the
+// instruction quantum trips. The abort must name the probe's PC and the
+// tiers must count identical instructions and probes at cancellation.
+func TestFusedProbeQuantum(t *testing.T) {
+	prog := []insn.Instruction{
+		insn.Probe(0), // pc 0: also the branch target
+		insn.Ja(-2),
+		insn.Exit(),
+	}
+	cps := []kie.CP{{ID: 0, Insn: 0, Kind: kie.CPLoop}}
+	interp, lowered := runBoth(t, prog, cps, 100)
+	assertSameResult(t, interp, lowered)
+	if lowered.Abort == nil || lowered.Abort.PC != 0 {
+		t.Fatalf("abort = %+v, want terminate at pc 0 (the probe)", lowered.Abort)
+	}
+	if lowered.Cancelled != vm.CancelTerminate {
+		t.Fatalf("cancelled = %v, want %v", lowered.Cancelled, vm.CancelTerminate)
+	}
+	if lowered.Stats.Probes == 0 || lowered.Stats.Insns <= 100 {
+		t.Fatalf("stats = %+v, want the quantum to have tripped via probes", lowered.Stats)
+	}
+}
+
+// TestFusedGuardLoadRuns executes a successful fused load round trip:
+// store then load back through guarded heap pointers.
+func TestFusedGuardLoadRuns(t *testing.T) {
+	prog := []insn.Instruction{
+		insn.Mov64Imm(insn.R1, 0), // terminate word page is populated
+		insn.Guard(insn.R1),
+		insn.StoreImm(insn.R1, 8, 4242, 8),
+		insn.Mov64Imm(insn.R2, 0),
+		insn.Guard(insn.R2),
+		insn.LoadMem(insn.R0, insn.R2, 8, 8),
+		insn.Exit(),
+	}
+	interp, lowered := runBoth(t, prog, nil, 0)
+	assertSameResult(t, interp, lowered)
+	if lowered.Ret != 4242 {
+		t.Fatalf("ret = %d, want 4242", lowered.Ret)
+	}
+	if lowered.Stats.Fused != 2 {
+		t.Fatalf("stats = %+v, want 2 fused dispatches (guard+store, guard+load)", lowered.Stats)
+	}
+}

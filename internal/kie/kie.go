@@ -14,6 +14,19 @@
 //
 // and to assign cancellation-point IDs carrying the object tables the
 // runtime uses to release kernel resources on termination.
+//
+// # Adjacency contract
+//
+// The emitted stream satisfies an adjacency contract that internal/compile
+// relies on to fuse superinstructions: each original instruction becomes
+// one cluster probe→xlat→guard→original, so a guard is always immediately
+// followed by the access it sanitizes, and a probe planted on a back edge
+// is always immediately followed by the jump ending that edge (back-edge
+// tails are jumps by construction). Branches are retargeted to cluster
+// starts only — control flow can never enter between a guard (or probe)
+// and the instruction it protects. Lowering re-checks this defensively
+// (it never fuses across a branch target), but the contract is what makes
+// the dominant pairs fusable at all.
 package kie
 
 import (

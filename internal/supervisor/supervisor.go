@@ -19,8 +19,10 @@
 // entries, held locks) runs with fault injection disarmed and its report
 // is retained for post-mortem, then the heap's pages are detached (§3.2
 // teardown). A reload is scheduled with capped exponential backoff plus
-// deterministic jitter; the reload re-runs verification and Kie
-// instrumentation against a fresh heap. Traffic re-admission goes through
+// deterministic jitter; the reload goes back through the runtime's staged
+// compile pipeline, where an unchanged spec hits the compile cache —
+// verification, Kie instrumentation, and lowering artifacts are reused and
+// only a fresh heap is linked. Traffic re-admission goes through
 // a half-open circuit breaker: a bounded number of probe Runs execute on
 // the reloaded extension while the rest of the traffic stays on the
 // user-space fallback; enough successes close the circuit, any failure
@@ -157,8 +159,9 @@ type Tuning struct {
 type Config struct {
 	// Runtime loads each generation of the extension.
 	Runtime *kflex.Runtime
-	// Spec is reloaded verbatim on every recovery: verification and Kie
-	// instrumentation re-run against a fresh heap.
+	// Spec is reloaded verbatim on every recovery. Because the spec is
+	// unchanged, the runtime's compile cache serves the verify/instrument/
+	// lower artifacts and the reload only links a fresh heap.
 	Spec kflex.Spec
 	// NumCPUs is how many handles each generation creates; Run's cpu
 	// argument must stay below it (default 1). Like kflex.Handle, each
@@ -239,8 +242,11 @@ func New(cfg Config) (*Supervisor, error) {
 	return s, nil
 }
 
-// loadGeneration loads a fresh extension instance (re-running verification
-// and Kie instrumentation, instantiating a fresh heap) and runs Init.
+// loadGeneration loads a fresh extension instance and runs Init. The load
+// goes through Runtime.Load's staged pipeline: with an unchanged spec the
+// verify/instrument/lower artifacts come from the compile cache and only
+// the per-instance state (heap, allocator, link) is rebuilt, so reload
+// latency is the link stage, not a full recompile.
 func (s *Supervisor) loadGeneration() (*kflex.Extension, []*kflex.Handle, error) {
 	ext, err := s.cfg.Runtime.Load(s.cfg.Spec)
 	if err != nil {

@@ -104,6 +104,100 @@ func TestInitErrorPropagates(t *testing.T) {
 	}
 }
 
+// TestReloadCompileCache checks that a reload with an unchanged spec is
+// served from the runtime's compile cache — the verify/instrument/lower
+// stages are reused and only a fresh heap is linked — while the Init
+// callback (the durable-store replay hook) still runs for the new
+// generation. A spec with different program text on the same runtime must
+// miss the cache.
+func TestReloadCompileCache(t *testing.T) {
+	rt := kflex.NewRuntime()
+	clk := &clock{now: time.Unix(0, 0)}
+	inits := 0
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: rt,
+		Spec:    spinningSpec(),
+		Init: func(ext *kflex.Extension, handles []*kflex.Handle) error {
+			inits++
+			return nil
+		},
+		Tuning: supervisor.Tuning{
+			BackoffBase: time.Millisecond,
+			BackoffMax:  4 * time.Millisecond,
+			Now:         clk.Now,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+
+	// Generation 0 is the first Load of this spec on the runtime: a miss
+	// that populates the cache, with every stage actually executed.
+	pl0 := sup.Extension().Pipeline()
+	if pl0.CacheHit {
+		t.Fatalf("initial generation reported a cache hit: %+v", pl0)
+	}
+	for _, name := range []string{"verify", "instrument", "lower"} {
+		if st := pl0.Stage(name); st.Out == 0 || st.Cached {
+			t.Fatalf("initial %s stage = %+v, want executed (not cached)", name, st)
+		}
+	}
+
+	// Degrade and ride the backoff to a reload.
+	ctx := make([]byte, kflex.HookXDP.CtxSize)
+	if res, err := sup.Run(0, nil, ctx); err != nil || res.Cancelled != kflex.CancelTerminate {
+		t.Fatalf("degrading run = (%+v, %v), want a terminate cancellation", res, err)
+	}
+	clk.Advance(5 * time.Millisecond)
+	if _, err := sup.Run(0, nil, ctx); err != nil {
+		t.Fatalf("probe run after reload: %v", err)
+	}
+	if sup.Gen() != 1 || sup.Reloads() != 1 {
+		t.Fatalf("after reload: gen=%d reloads=%d, want 1/1", sup.Gen(), sup.Reloads())
+	}
+	if inits != 2 {
+		t.Fatalf("Init ran %d times, want 2 (durable replay must run on reload too)", inits)
+	}
+
+	// The reloaded generation must be a cache hit: verify/instrument/lower
+	// carry the cached artifact sizes, only link actually ran.
+	pl1 := sup.Extension().Pipeline()
+	if !pl1.CacheHit {
+		t.Fatalf("reloaded generation missed the compile cache: %+v", pl1)
+	}
+	if pl1.SpecHash != pl0.SpecHash {
+		t.Fatalf("spec fingerprint changed across reload: %#x -> %#x", pl0.SpecHash, pl1.SpecHash)
+	}
+	for _, name := range []string{"verify", "instrument", "lower"} {
+		st := pl1.Stage(name)
+		if !st.Cached {
+			t.Fatalf("reloaded %s stage = %+v, want cached", name, st)
+		}
+		if st.Out != pl0.Stage(name).Out {
+			t.Fatalf("cached %s artifact size %d != original %d", name, st.Out, pl0.Stage(name).Out)
+		}
+	}
+	if st := pl1.Stage("link"); st.Cached {
+		t.Fatalf("link stage marked cached: %+v — linking must run per generation", st)
+	}
+
+	// A different program text on the same runtime is a different
+	// fingerprint: fresh supervisor, cache miss.
+	other, err := supervisor.New(supervisor.Config{Runtime: rt, Spec: trivialSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(other.Close)
+	plo := other.Extension().Pipeline()
+	if plo.CacheHit {
+		t.Fatalf("changed spec hit the cache: %+v", plo)
+	}
+	if plo.SpecHash == pl1.SpecHash {
+		t.Fatal("different program text produced the same spec fingerprint")
+	}
+}
+
 // TestRequarantineOnProbeFailure walks the unhappy half of the machine: a
 // spinning extension degrades on first run, reloads after backoff, fails
 // its probe, and re-quarantines at the next backoff tier — repeatedly.

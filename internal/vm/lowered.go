@@ -1,0 +1,543 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"kflex/insn"
+	"kflex/internal/compile"
+	"kflex/internal/faultinject"
+	"kflex/internal/kernel"
+)
+
+// loopLowered is the lowered-tier dispatch core: the pre-decoded program
+// produced by internal/compile is executed without re-decoding operands,
+// without the interpreter's per-dispatch PerfMode branch (read guards were
+// deleted at lowering time), and with fused superinstructions retiring two
+// architectural instructions per dispatch (§4.2).
+//
+// Semantic contract with loop(): for any instrumented program and input,
+// Result and Stats are identical across the two tiers except for
+// Stats.Dispatches/Stats.Fused (documented in Stats). Abort and fault PCs
+// refer to the instrumented stream via Insn.OrigPC, so cancellation-point
+// attribution (object tables, chaos traces) is tier-independent.
+func (e *Exec) loopLowered() (uint64, error) {
+	p := e.prog
+	lp := p.opts.Lowered
+	code := lp.Code
+	regs := &e.regs
+	// The guard and translate constants were folded out of the dispatch
+	// loop at link time; they live in locals for the whole invocation,
+	// the software analogue of the JIT pinning them in registers.
+	heapBase, heapMask, userBase := lp.HeapBase, lp.HeapMask, lp.UserBase
+	pc := int32(0)
+	for {
+		if pc < 0 || int(pc) >= len(code) {
+			return 0, fmt.Errorf("vm: pc %d out of program", pc)
+		}
+		ins := &code[pc]
+		e.stats.Dispatches++
+
+		switch ins.Op {
+		// --- ALU64, immediate form ---
+		case compile.OpMov64Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = ins.Imm
+			pc++
+		case compile.OpAdd64Imm:
+			e.stats.Insns++
+			regs[ins.Dst] += ins.Imm
+			pc++
+		case compile.OpSub64Imm:
+			e.stats.Insns++
+			regs[ins.Dst] -= ins.Imm
+			pc++
+		case compile.OpMul64Imm:
+			e.stats.Insns++
+			regs[ins.Dst] *= ins.Imm
+			pc++
+		case compile.OpDiv64Imm:
+			e.stats.Insns++
+			if ins.Imm == 0 {
+				regs[ins.Dst] = 0
+			} else {
+				regs[ins.Dst] /= ins.Imm
+			}
+			pc++
+		case compile.OpOr64Imm:
+			e.stats.Insns++
+			regs[ins.Dst] |= ins.Imm
+			pc++
+		case compile.OpAnd64Imm:
+			e.stats.Insns++
+			regs[ins.Dst] &= ins.Imm
+			pc++
+		case compile.OpLsh64Imm:
+			e.stats.Insns++
+			regs[ins.Dst] <<= ins.Imm
+			pc++
+		case compile.OpRsh64Imm:
+			e.stats.Insns++
+			regs[ins.Dst] >>= ins.Imm
+			pc++
+		case compile.OpMod64Imm:
+			e.stats.Insns++
+			if ins.Imm != 0 {
+				regs[ins.Dst] %= ins.Imm
+			}
+			pc++
+		case compile.OpXor64Imm:
+			e.stats.Insns++
+			regs[ins.Dst] ^= ins.Imm
+			pc++
+		case compile.OpArsh64Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(int64(regs[ins.Dst]) >> ins.Imm)
+			pc++
+
+		// --- ALU64, register form ---
+		case compile.OpMov64Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = regs[ins.Src]
+			pc++
+		case compile.OpAdd64Reg:
+			e.stats.Insns++
+			regs[ins.Dst] += regs[ins.Src]
+			pc++
+		case compile.OpSub64Reg:
+			e.stats.Insns++
+			regs[ins.Dst] -= regs[ins.Src]
+			pc++
+		case compile.OpMul64Reg:
+			e.stats.Insns++
+			regs[ins.Dst] *= regs[ins.Src]
+			pc++
+		case compile.OpDiv64Reg:
+			e.stats.Insns++
+			if s := regs[ins.Src]; s == 0 {
+				regs[ins.Dst] = 0
+			} else {
+				regs[ins.Dst] /= s
+			}
+			pc++
+		case compile.OpOr64Reg:
+			e.stats.Insns++
+			regs[ins.Dst] |= regs[ins.Src]
+			pc++
+		case compile.OpAnd64Reg:
+			e.stats.Insns++
+			regs[ins.Dst] &= regs[ins.Src]
+			pc++
+		case compile.OpLsh64Reg:
+			e.stats.Insns++
+			regs[ins.Dst] <<= regs[ins.Src] & 63
+			pc++
+		case compile.OpRsh64Reg:
+			e.stats.Insns++
+			regs[ins.Dst] >>= regs[ins.Src] & 63
+			pc++
+		case compile.OpMod64Reg:
+			e.stats.Insns++
+			if s := regs[ins.Src]; s != 0 {
+				regs[ins.Dst] %= s
+			}
+			pc++
+		case compile.OpXor64Reg:
+			e.stats.Insns++
+			regs[ins.Dst] ^= regs[ins.Src]
+			pc++
+		case compile.OpArsh64Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(int64(regs[ins.Dst]) >> (regs[ins.Src] & 63))
+			pc++
+
+		case compile.OpNeg64:
+			e.stats.Insns++
+			regs[ins.Dst] = -regs[ins.Dst]
+			pc++
+
+		// --- ALU32, immediate form (Imm pre-zero-extended) ---
+		case compile.OpMov32Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = ins.Imm
+			pc++
+		case compile.OpAdd32Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) + uint32(ins.Imm))
+			pc++
+		case compile.OpSub32Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) - uint32(ins.Imm))
+			pc++
+		case compile.OpMul32Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) * uint32(ins.Imm))
+			pc++
+		case compile.OpDiv32Imm:
+			e.stats.Insns++
+			if ins.Imm == 0 {
+				regs[ins.Dst] = 0
+			} else {
+				regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) / uint32(ins.Imm))
+			}
+			pc++
+		case compile.OpOr32Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) | uint32(ins.Imm))
+			pc++
+		case compile.OpAnd32Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) & uint32(ins.Imm))
+			pc++
+		case compile.OpLsh32Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) << uint32(ins.Imm))
+			pc++
+		case compile.OpRsh32Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) >> uint32(ins.Imm))
+			pc++
+		case compile.OpMod32Imm:
+			e.stats.Insns++
+			if ins.Imm != 0 {
+				regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) % uint32(ins.Imm))
+			} else {
+				regs[ins.Dst] = uint64(uint32(regs[ins.Dst]))
+			}
+			pc++
+		case compile.OpXor32Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) ^ uint32(ins.Imm))
+			pc++
+		case compile.OpArsh32Imm:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(int32(uint32(regs[ins.Dst])) >> uint32(ins.Imm)))
+			pc++
+
+		// --- ALU32, register form ---
+		case compile.OpMov32Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Src]))
+			pc++
+		case compile.OpAdd32Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) + uint32(regs[ins.Src]))
+			pc++
+		case compile.OpSub32Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) - uint32(regs[ins.Src]))
+			pc++
+		case compile.OpMul32Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) * uint32(regs[ins.Src]))
+			pc++
+		case compile.OpDiv32Reg:
+			e.stats.Insns++
+			if s := uint32(regs[ins.Src]); s == 0 {
+				regs[ins.Dst] = 0
+			} else {
+				regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) / s)
+			}
+			pc++
+		case compile.OpOr32Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) | uint32(regs[ins.Src]))
+			pc++
+		case compile.OpAnd32Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) & uint32(regs[ins.Src]))
+			pc++
+		case compile.OpLsh32Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) << (uint32(regs[ins.Src]) & 31))
+			pc++
+		case compile.OpRsh32Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) >> (uint32(regs[ins.Src]) & 31))
+			pc++
+		case compile.OpMod32Reg:
+			e.stats.Insns++
+			if s := uint32(regs[ins.Src]); s != 0 {
+				regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) % s)
+			} else {
+				regs[ins.Dst] = uint64(uint32(regs[ins.Dst]))
+			}
+			pc++
+		case compile.OpXor32Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(regs[ins.Dst]) ^ uint32(regs[ins.Src]))
+			pc++
+		case compile.OpArsh32Reg:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(uint32(int32(uint32(regs[ins.Dst])) >> (uint32(regs[ins.Src]) & 31)))
+			pc++
+
+		case compile.OpNeg32:
+			e.stats.Insns++
+			regs[ins.Dst] = uint64(-uint32(regs[ins.Dst]))
+			pc++
+
+		// --- Byte swaps (full-register semantics, both ALU classes) ---
+		case compile.OpBswap16:
+			e.stats.Insns++
+			regs[ins.Dst] = bswap(regs[ins.Dst], 16)
+			pc++
+		case compile.OpBswap32:
+			e.stats.Insns++
+			regs[ins.Dst] = bswap(regs[ins.Dst], 32)
+			pc++
+		case compile.OpBswap64:
+			e.stats.Insns++
+			regs[ins.Dst] = bswap(regs[ins.Dst], 64)
+			pc++
+
+		// --- Memory ---
+		case compile.OpLoad:
+			e.stats.Insns++
+			addr := regs[ins.Src] + ins.Imm
+			v, err := e.load(addr, int(ins.Size))
+			if err != nil {
+				return 0, e.fault(int(ins.OrigPC), err)
+			}
+			regs[ins.Dst] = v
+			pc++
+
+		case compile.OpStoreReg:
+			e.stats.Insns++
+			addr := regs[ins.Dst] + ins.Imm
+			val := regs[ins.Src]
+			if e.xlatArmed {
+				val = e.xlatVal
+				e.xlatArmed = false
+			}
+			if err := e.store(addr, int(ins.Size), val); err != nil {
+				return 0, e.fault(int(ins.OrigPC), err)
+			}
+			pc++
+
+		case compile.OpStoreImm:
+			e.stats.Insns++
+			addr := regs[ins.Dst] + uint64(int64(ins.Off))
+			if err := e.store(addr, int(ins.Size), ins.Imm); err != nil {
+				return 0, e.fault(int(ins.OrigPC), err)
+			}
+			pc++
+
+		case compile.OpAtomic:
+			e.stats.Insns++
+			addr := regs[ins.Dst] + uint64(int64(ins.Off))
+			ai := insn.Instruction{Src: insn.Reg(ins.Src), Imm: int32(uint32(ins.Imm))}
+			if err := e.atomic(int(ins.OrigPC), ai, addr, int(ins.Size)); err != nil {
+				return 0, err
+			}
+			pc++
+
+		// --- Control ---
+		case compile.OpJa:
+			e.stats.Insns++
+			pc = ins.Target
+		case compile.OpJcc64Imm:
+			e.stats.Insns++
+			if jumpTaken(ins.Sub, regs[ins.Dst], ins.Imm, true) {
+				pc = ins.Target
+			} else {
+				pc++
+			}
+		case compile.OpJcc64Reg:
+			e.stats.Insns++
+			if jumpTaken(ins.Sub, regs[ins.Dst], regs[ins.Src], true) {
+				pc = ins.Target
+			} else {
+				pc++
+			}
+		case compile.OpJcc32Imm:
+			e.stats.Insns++
+			if jumpTaken(ins.Sub, uint64(uint32(regs[ins.Dst])), ins.Imm, false) {
+				pc = ins.Target
+			} else {
+				pc++
+			}
+		case compile.OpJcc32Reg:
+			e.stats.Insns++
+			if jumpTaken(ins.Sub, uint64(uint32(regs[ins.Dst])), uint64(uint32(regs[ins.Src])), false) {
+				pc = ins.Target
+			} else {
+				pc++
+			}
+
+		case compile.OpCall:
+			e.stats.Insns++
+			if err := e.callResolved(int(ins.OrigPC), lp.Helpers[ins.Target], ins.Imm); err != nil {
+				return 0, err
+			}
+			pc++
+
+		case compile.OpExit:
+			e.stats.Insns++
+			return regs[insn.R0], nil
+
+		// --- Kie internal opcodes ---
+		case compile.OpGuard:
+			e.stats.Insns++
+			regs[ins.Dst] = (regs[ins.Dst] & heapMask) + heapBase
+			e.stats.Guards++
+			pc++
+		case compile.OpGuardRd:
+			// Only reached outside performance mode: perf-mode lowering
+			// deleted read guards, so there is no mode branch here.
+			e.stats.Insns++
+			regs[ins.Dst] = (regs[ins.Dst] & heapMask) + heapBase
+			e.stats.Guards++
+			e.stats.GuardsRead++
+			pc++
+		case compile.OpXlat:
+			e.stats.Insns++
+			e.xlatVal = (regs[ins.Dst] & heapMask) + userBase
+			e.xlatArmed = true
+			pc++
+		case compile.OpProbe:
+			e.stats.Insns++
+			if abort := e.probeCheck(ins); abort != nil {
+				return 0, abort
+			}
+			pc++
+
+		// --- Fused superinstructions ---
+		case compile.OpGuardLoad, compile.OpGuardRdLoad:
+			// Both architectural instructions are charged up front, as the
+			// interpreter would have by the time the access executes; a
+			// fault is attributed to the access (OrigPC), not the guard.
+			e.stats.Insns += 2
+			e.stats.Guards++
+			if ins.Op == compile.OpGuardRdLoad {
+				e.stats.GuardsRead++
+			}
+			e.stats.Fused++
+			regs[ins.Src] = (regs[ins.Src] & heapMask) + heapBase
+			v, err := e.load(regs[ins.Src]+ins.Imm, int(ins.Size))
+			if err != nil {
+				return 0, e.fault(int(ins.OrigPC), err)
+			}
+			regs[ins.Dst] = v
+			pc++
+
+		case compile.OpGuardStoreReg:
+			e.stats.Insns += 2
+			e.stats.Guards++
+			e.stats.Fused++
+			regs[ins.Dst] = (regs[ins.Dst] & heapMask) + heapBase
+			val := regs[ins.Src]
+			if e.xlatArmed {
+				val = e.xlatVal
+				e.xlatArmed = false
+			}
+			if err := e.store(regs[ins.Dst]+ins.Imm, int(ins.Size), val); err != nil {
+				return 0, e.fault(int(ins.OrigPC), err)
+			}
+			pc++
+
+		case compile.OpGuardStoreImm:
+			e.stats.Insns += 2
+			e.stats.Guards++
+			e.stats.Fused++
+			regs[ins.Dst] = (regs[ins.Dst] & heapMask) + heapBase
+			if err := e.store(regs[ins.Dst]+uint64(int64(ins.Off)), int(ins.Size), ins.Imm); err != nil {
+				return 0, e.fault(int(ins.OrigPC), err)
+			}
+			pc++
+
+		case compile.OpProbeJa:
+			// The probe is charged and checked first (quantum expiry is
+			// compared against the probe-time Insns count, as on the
+			// interpreter); the branch half only retires after it passes.
+			e.stats.Insns++
+			if abort := e.probeCheck(ins); abort != nil {
+				return 0, abort
+			}
+			e.stats.Insns++
+			e.stats.Fused++
+			pc = ins.Target
+
+		case compile.OpProbeJcc:
+			e.stats.Insns++
+			if abort := e.probeCheck(ins); abort != nil {
+				return 0, abort
+			}
+			e.stats.Insns++
+			e.stats.Fused++
+			is64 := ins.Size&compile.Form32 == 0
+			dst := regs[ins.Dst]
+			if !is64 {
+				dst = uint64(uint32(dst))
+			}
+			var src uint64
+			if ins.Size&compile.FormImm != 0 {
+				src = ins.Imm
+			} else {
+				src = regs[ins.Src]
+				if !is64 {
+					src = uint64(uint32(src))
+				}
+			}
+			if jumpTaken(ins.Sub, dst, src, is64) {
+				pc = ins.Target
+			} else {
+				pc++
+			}
+
+		default:
+			return 0, fmt.Errorf("vm: lowered pc %d: unknown opcode %d", pc, uint8(ins.Op))
+		}
+	}
+}
+
+// probeCheck performs the terminate-probe sequence for a lowered probe
+// (standalone or the probe half of a fused probe+branch). It mirrors the
+// interpreter's OpProbe case exactly: count the probe, then observe — in
+// order — quantum expiry, the caller's cancellation request, injected
+// terminate faults keyed by the CP id (Insn.Off), and finally the
+// terminate word itself. A non-nil return is the abort, attributed to the
+// probe's instrumented PC.
+func (e *Exec) probeCheck(ins *compile.Insn) *ExtensionAbort {
+	p := e.prog
+	e.stats.Probes++
+	term := p.terminate.Load()
+	quantum := p.opts.QuantumInsns
+	if quantum > 0 && e.stats.Insns > quantum {
+		return &ExtensionAbort{Kind: CancelTerminate, PC: int(ins.OrigPC)}
+	}
+	if e.cancelReq.Load() {
+		return &ExtensionAbort{Kind: CancelTerminate, PC: int(ins.OrigPC)}
+	}
+	if e.inject != nil && e.inject.Fire(faultinject.Terminate, uint64(uint32(ins.Off))) {
+		return &ExtensionAbort{Kind: CancelTerminate, PC: int(ins.OrigPC)}
+	}
+	if _, err := e.extView.Load(term, 8); err != nil {
+		return &ExtensionAbort{Kind: CancelTerminate, PC: int(ins.OrigPC)}
+	}
+	return nil
+}
+
+// callResolved dispatches a helper through a link-time-resolved spec: the
+// registry lookup the interpreter performs per call happened once in
+// compile.Link. Identical to Exec.call in every observable respect.
+func (e *Exec) callResolved(pc int, spec *kernel.HelperSpec, helperID uint64) error {
+	e.stats.HelperCalls++
+	if e.inject != nil && e.inject.Fire(faultinject.HelperErr, helperID) {
+		return &ExtensionAbort{Kind: CancelHelper, PC: pc}
+	}
+	e.hc.Site = pc
+	args := [5]uint64{
+		e.regs[insn.R1], e.regs[insn.R2], e.regs[insn.R3],
+		e.regs[insn.R4], e.regs[insn.R5],
+	}
+	ret, err := spec.Impl(&e.hc, args)
+	if err != nil {
+		if errors.Is(err, kernel.ErrCancelledInLock) {
+			return &ExtensionAbort{Kind: CancelLock, PC: pc}
+		}
+		return e.fault(pc, err)
+	}
+	e.regs[insn.R0] = ret
+	return nil
+}

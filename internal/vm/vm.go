@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"kflex/insn"
+	"kflex/internal/compile"
 	"kflex/internal/faultinject"
 	"kflex/internal/heap"
 	"kflex/internal/kernel"
@@ -69,12 +70,39 @@ func (k CancelKind) String() string {
 }
 
 // Stats counts work done by one invocation.
+//
+// Insns counts retired architectural instructions and is tier-independent:
+// the reference interpreter and the lowered tier produce identical values
+// for the same program and input (the differential harness at the repo
+// root enforces this). Dispatches and Fused are the only tier-dependent
+// counters: the interpreter leaves them zero, while the lowered tier
+// counts dispatch-loop iterations — fewer than Insns whenever fused
+// superinstructions retire two architectural instructions per dispatch.
 type Stats struct {
 	Insns       uint64
 	Guards      uint64 // guard instructions executed
 	GuardsRead  uint64 // of which read guards (skipped in perf mode)
 	Probes      uint64 // terminate probes executed
 	HelperCalls uint64
+
+	// Dispatches counts lowered dispatch-loop iterations (zero on the
+	// reference interpreter, where every architectural instruction is
+	// its own dispatch).
+	Dispatches uint64
+	// Fused counts dispatches that retired a fused superinstruction
+	// (guard+load, guard+store, probe+branch).
+	Fused uint64
+}
+
+// Add accumulates o into s (workload-level aggregation).
+func (s *Stats) Add(o Stats) {
+	s.Insns += o.Insns
+	s.Guards += o.Guards
+	s.GuardsRead += o.GuardsRead
+	s.Probes += o.Probes
+	s.HelperCalls += o.HelperCalls
+	s.Dispatches += o.Dispatches
+	s.Fused += o.Fused
 }
 
 // Result describes one completed invocation.
@@ -118,6 +146,12 @@ type Options struct {
 	// points (chaos testing): terminate-probe invalidation keyed by CP
 	// id, and helper-call errors keyed by helper ID.
 	Fault *faultinject.Plan
+	// Lowered, when non-nil, selects the lowered execution tier: Run
+	// dispatches the pre-decoded program instead of re-decoding
+	// insn.Instruction per step. The instrumented stream stays attached
+	// for disassembly and PC attribution. Callback programs always run
+	// on the reference interpreter.
+	Lowered *compile.Linked
 }
 
 // Program is a loaded, instrumented extension ready to run.
@@ -354,7 +388,13 @@ func (e *Exec) Run(event any, ctxBytes []byte) (Result, error) {
 
 	e.startNS.Store(nowNS())
 	defer e.startNS.Store(0)
-	ret, err := e.loop()
+	var ret uint64
+	var err error
+	if p.opts.Lowered != nil {
+		ret, err = e.loopLowered()
+	} else {
+		ret, err = e.loop()
+	}
 	if err == nil {
 		if len(e.held) != 0 || len(e.heldLocks) != 0 {
 			// Verified programs release everything; reaching this
