@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos fuzz vet check bench bench-smoke clean
+.PHONY: all build test race race-concurrency chaos fuzz vet check bench bench-smoke clean
 
 all: build
 
@@ -16,6 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The multi-core serving concurrency suite alone: parallel Run/RunContext
+# across every CPU, dynamic watchdog registration, cross-CPU allocator
+# frees, contended ticket locks, concurrent sub-word heap stores, and the
+# supervisor lifecycle under parallel traffic.
+race-concurrency:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'Parallel|Concurrent|Contended|CrossCPU|LateHandles|Refiller' \
+		. ./internal/alloc/ ./internal/locks/ ./internal/heap/ ./internal/supervisor/
+
 # Short-deadline chaos pass: the seeded fault-injection suite at the repo
 # root with a reduced request stream (-short), bounded by a hard timeout.
 chaos:
@@ -29,15 +38,18 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=20s ./asm/
 	$(GO) test -run=NONE -fuzz=FuzzLoweredEquivalence -fuzztime=20s .
 
-# The pipeline benchmark: interpreter vs lowered tier on both application
-# offloads, full scale, recorded in BENCH_pipeline.json.
+# The committed benchmarks: the pipeline comparison (interpreter vs
+# lowered tier, BENCH_pipeline.json) and the multi-core scaling curve
+# (closed-loop workers at 1/2/4/8 CPUs, BENCH_scale.json).
 bench: build
 	$(GO) run ./cmd/kfbench -run pipeline -json BENCH_pipeline.json
+	$(GO) run ./cmd/kfbench -run scale -json BENCH_scale.json
 
-# CI-scale pipeline benchmark: sanity-checks that both tiers run and the
-# report is produced, without committing the throwaway numbers.
+# CI-scale benchmark smoke: sanity-checks that both experiments run and
+# their reports are produced, without committing the throwaway numbers.
 bench-smoke: build
 	$(GO) run ./cmd/kfbench -run pipeline -quick -json /tmp/BENCH_pipeline_smoke.json
+	$(GO) run ./cmd/kfbench -run scale -quick -json /tmp/BENCH_scale_smoke.json
 
 # The pre-merge gate: vet, build, the full test suite under the race
 # detector (includes the chaos suite), then the short chaos pass alone to

@@ -1,0 +1,167 @@
+package kflex
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"kflex/asm"
+	"kflex/insn"
+	"kflex/internal/kernel"
+)
+
+// storingProg writes a full heap word and one overlapping byte, reads the
+// word back, and returns. Run concurrently from every CPU it exercises the
+// heap's atomic word stores and CAS-merged sub-word stores.
+func storingProg() []insn.Instruction {
+	return asm.New().
+		Call(kernel.HelperKflexHeapBase).
+		Mov(insn.R6, insn.R0).
+		StoreImm(insn.R6, 512, 7, 8).
+		StoreImm(insn.R6, 517, 9, 1).
+		Load(insn.R2, insn.R6, 512, 8).
+		Ret(kernel.XDPPass).
+		MustAssemble()
+}
+
+// TestParallelRunAllCPUs drives every per-CPU execution context from its
+// own goroutine — the multi-core serving model — mixing Run and
+// RunContext, with handles resolved on the lock-free path each iteration.
+// Run under -race this is the tentpole's shared-nothing proof for the
+// runtime hot path.
+func TestParallelRunAllCPUs(t *testing.T) {
+	rt := NewRuntime()
+	ext, err := rt.Load(Spec{
+		Name:     "parallel",
+		Insns:    storingProg(),
+		Hook:     HookXDP,
+		Mode:     ModeKFlex,
+		HeapSize: 1 << 16,
+		NumCPUs:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ext.Close()
+	const iters = 300
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for cpu := 0; cpu < 8; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			hctx := make([]byte, HookXDP.CtxSize)
+			for i := 0; i < iters; i++ {
+				// Resolve the handle every iteration: repeated lookups
+				// must be lock- and allocation-free, and always return
+				// the same per-CPU context.
+				h := ext.Handle(cpu)
+				var res Result
+				var err error
+				if i%50 == 49 {
+					res, err = h.RunContext(context.Background(), nil, hctx)
+				} else {
+					res, err = h.Run(nil, hctx)
+				}
+				if err != nil {
+					errs[cpu] = err
+					return
+				}
+				if res.Ret != kernel.XDPPass {
+					t.Errorf("cpu %d: ret = %d", cpu, res.Ret)
+					return
+				}
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	for cpu, err := range errs {
+		if err != nil {
+			t.Fatalf("cpu %d: %v", cpu, err)
+		}
+	}
+	if ext.Unloaded() || ext.Cancels() != 0 {
+		t.Fatalf("parallel traffic degraded the extension: cancels=%d", ext.Cancels())
+	}
+}
+
+// TestHandleStableAcrossLookups pins the Handle contract the hot path
+// relies on: the same *Handle pointer comes back for a CPU every time, and
+// distinct CPUs get distinct per-CPU contexts.
+func TestHandleStableAcrossLookups(t *testing.T) {
+	rt := NewRuntime()
+	ext, err := rt.Load(Spec{
+		Name:     "handles",
+		Insns:    asm.New().Ret(kernel.XDPPass).MustAssemble(),
+		Hook:     HookXDP,
+		Mode:     ModeKFlex,
+		HeapSize: 1 << 16,
+		NumCPUs:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ext.Close()
+	h0 := ext.Handle(0)
+	for i := 0; i < 100; i++ {
+		if ext.Handle(0) != h0 {
+			t.Fatal("Handle(0) changed across lookups")
+		}
+	}
+	if ext.Handle(1) == h0 {
+		t.Fatal("distinct CPUs share a handle")
+	}
+	// CPU numbers wrap onto the table, so 4 aliases 0.
+	if ext.Handle(4) != h0 {
+		t.Fatal("Handle(4) should alias Handle(0) with 4 CPUs")
+	}
+	allocs := testing.AllocsPerRun(100, func() { ext.Handle(2) })
+	if allocs != 0 {
+		t.Fatalf("Handle lookup allocates %.0f objects per call, want 0", allocs)
+	}
+}
+
+// TestWatchdogWatchesLateHandles is the regression test for the snapshot
+// bug: StartWatchdog used to capture the execution contexts that existed
+// at start, so a handle created afterwards was never monitored and a stall
+// on it spun unbounded. Registration is dynamic now — the late handle must
+// be cancelled.
+func TestWatchdogWatchesLateHandles(t *testing.T) {
+	rt := NewRuntime()
+	ext, err := rt.Load(Spec{
+		Name:     "spin-late",
+		Insns:    spinningProg(),
+		Hook:     HookXDP,
+		Mode:     ModeKFlex,
+		HeapSize: 1 << 16,
+		NumCPUs:  4,
+		// Local cancellation with a high threshold: each cancelled run
+		// stays scoped to its invocation and the extension survives.
+		LocalCancel:     true,
+		CancelThreshold: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ext.Close()
+	ext.StartWatchdog(20*time.Millisecond, 5*time.Millisecond)
+	defer ext.StopWatchdog()
+	// No handle existed when the watchdog started; create them now.
+	for cpu := 0; cpu < 3; cpu++ {
+		start := time.Now()
+		res, err := ext.Handle(cpu).Run(nil, make([]byte, HookXDP.CtxSize))
+		if err != nil {
+			t.Fatalf("cpu %d: %v", cpu, err)
+		}
+		if res.Cancelled != CancelTerminate {
+			t.Fatalf("cpu %d: cancelled = %v, want terminate (late handle unwatched?)", cpu, res.Cancelled)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("cpu %d: watchdog took %v", cpu, elapsed)
+		}
+	}
+	if ext.Cancels() != 3 {
+		t.Fatalf("cancels = %d, want 3", ext.Cancels())
+	}
+}

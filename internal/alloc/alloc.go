@@ -6,12 +6,23 @@
 // thread; here the pool is implemented directly on the heap, with the same
 // architecture (per-CPU magazine → global list → fresh run) and an optional
 // background refiller.
+//
+// Concurrency discipline (§3.3): each per-CPU cache is private to the one
+// goroutine driving that simulated CPU — the same exclusivity per-CPU data
+// enjoys in the kernel — so the Malloc/Free fast path takes no lock at all.
+// The global depot mutex is touched only on magazine refill, spill, and
+// run carving; the background refiller communicates through a per-CPU
+// inbox that the owner drains only on a cache miss. Cache contents are
+// stored as single-writer atomics purely so that audits (CheckConsistency,
+// the supervisor's quarantine report) can observe them from another
+// goroutine without a data race.
 package alloc
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kflex/internal/faultinject"
@@ -64,14 +75,18 @@ type Allocator struct {
 	h    *heap.Heap
 	view heap.View
 
-	mu     sync.Mutex // guards bump + global lists
-	bump   uint64     // next unallocated heap offset
-	global [numClasses][]uint64
+	// mu guards the depot: the bump pointer, the global free lists, the
+	// run-carve accounting, and the huge-allocation counters. It is taken
+	// only off the fast path (magazine refill/spill, run carve, huge
+	// allocations, audits) — never on a cache hit.
+	mu         sync.Mutex
+	bump       uint64
+	global     [numClasses][]uint64
+	carved     [numClasses]uint64
+	bumpBytes  uint64
+	hugeAllocs uint64
 
 	cpus []cpuCache
-
-	stats   Stats
-	statsMu sync.Mutex
 
 	refillStop chan struct{}
 	refillWG   sync.WaitGroup
@@ -82,15 +97,50 @@ type Allocator struct {
 
 	// Live-block tracking, enabled only by chaos/consistency tests: maps
 	// header offset → class for every outstanding block so accounting can
-	// be audited after injected faults.
-	trackMu sync.Mutex
-	live    map[uint64]int // nil unless EnableTracking
-	carved  [numClasses]uint64
+	// be audited after injected faults. The tracking flag keeps the
+	// production fast path to one atomic load (no trackMu).
+	tracking atomic.Bool
+	trackMu  sync.Mutex
+	live     map[uint64]int // nil unless EnableTracking
 }
 
+// classCache is one per-CPU, per-class magazine. Exactly one goroutine —
+// the owner of the simulated CPU — pushes and pops; the entries and the
+// length gauge are single-writer atomics only so the refiller (length
+// gauge) and audits (entries) may read them concurrently without a race.
+type classCache struct {
+	n     atomic.Int32
+	slots [cacheCap + 1]atomic.Uint64
+}
+
+func (c *classCache) pop() (uint64, bool) {
+	n := c.n.Load()
+	if n == 0 {
+		return 0, false
+	}
+	off := c.slots[n-1].Load()
+	c.n.Store(n - 1)
+	return off, true
+}
+
+func (c *classCache) push(off uint64) {
+	n := c.n.Load()
+	c.slots[n].Store(off)
+	c.n.Store(n + 1)
+}
+
+// cpuCache is the private state of one simulated CPU: its magazines, its
+// share of the allocator statistics (merged on Stats), and the inbox the
+// background refiller feeds. The inbox mutex is taken by the owner only on
+// a cache miss — the slow path — so refilling never perturbs the hot path.
 type cpuCache struct {
-	mu   sync.Mutex
-	free [numClasses][]uint64
+	free [numClasses]classCache
+
+	allocs, frees   atomic.Uint64
+	refills, spills atomic.Uint64
+
+	inboxMu sync.Mutex
+	inbox   [numClasses][]uint64
 }
 
 // Stats reports allocator activity.
@@ -122,10 +172,11 @@ func (a *Allocator) SetFaultPlan(p *faultinject.Plan) { a.fault = p }
 // audit the free lists. Call before any allocation traffic.
 func (a *Allocator) EnableTracking() {
 	a.trackMu.Lock()
-	defer a.trackMu.Unlock()
 	if a.live == nil {
 		a.live = make(map[uint64]int)
 	}
+	a.trackMu.Unlock()
+	a.tracking.Store(true)
 }
 
 // BumpOff returns the current bump pointer (the next unallocated heap
@@ -146,36 +197,57 @@ func (a *Allocator) ExpectedPopulatedPages() uint64 {
 }
 
 func (a *Allocator) trackAlloc(hdrOff uint64, class int) {
-	a.trackMu.Lock()
-	if a.live != nil {
-		a.live[hdrOff] = class
+	if !a.tracking.Load() {
+		return
 	}
+	a.trackMu.Lock()
+	a.live[hdrOff] = class
 	a.trackMu.Unlock()
 }
 
 func (a *Allocator) trackFree(hdrOff uint64) {
-	a.trackMu.Lock()
-	if a.live != nil {
-		delete(a.live, hdrOff)
+	if !a.tracking.Load() {
+		return
 	}
+	a.trackMu.Lock()
+	delete(a.live, hdrOff)
 	a.trackMu.Unlock()
 }
 
-// Stats returns a snapshot of allocator counters.
+// Stats returns a snapshot of allocator counters: the per-CPU shares are
+// merged, so a concurrent snapshot is approximate per counter but never
+// torn within one.
 func (a *Allocator) Stats() Stats {
-	a.statsMu.Lock()
-	defer a.statsMu.Unlock()
-	return a.stats
+	var s Stats
+	for i := range a.cpus {
+		c := &a.cpus[i]
+		s.Allocs += c.allocs.Load()
+		s.Frees += c.frees.Load()
+		s.Refills += c.refills.Load()
+		s.Spills += c.spills.Load()
+	}
+	a.mu.Lock()
+	s.BumpBytes = a.bumpBytes
+	s.HugeAllocs = a.hugeAllocs
+	s.Allocs += a.hugeAllocs
+	a.mu.Unlock()
+	return s
 }
 
-func (a *Allocator) count(f func(*Stats)) {
-	a.statsMu.Lock()
-	f(&a.stats)
-	a.statsMu.Unlock()
+// cpuOf maps a CPU number onto the cache table.
+func (a *Allocator) cpuOf(cpu int) *cpuCache {
+	idx := cpu % len(a.cpus)
+	if idx < 0 {
+		idx += len(a.cpus)
+	}
+	return &a.cpus[idx]
 }
 
 // Malloc allocates at least size bytes and returns the extension VA of the
-// block, or 0 when the heap is exhausted (kflex_malloc's contract).
+// block, or 0 when the heap is exhausted (kflex_malloc's contract). The
+// fast path — a per-CPU cache hit — performs no locking: the cache is
+// private to the goroutine driving cpu (the per-CPU exclusivity rule
+// Extension.Handle documents).
 func (a *Allocator) Malloc(cpu int, size uint64) uint64 {
 	class, ok := classFor(size)
 	if !ok {
@@ -184,31 +256,47 @@ func (a *Allocator) Malloc(cpu int, size uint64) uint64 {
 	if a.fault != nil && a.fault.Fire(faultinject.AllocFail, uint64(class)) {
 		return 0
 	}
-	c := &a.cpus[cpu%len(a.cpus)]
-	c.mu.Lock()
-	if n := len(c.free[class]); n > 0 {
-		off := c.free[class][n-1]
-		c.free[class] = c.free[class][:n-1]
-		c.mu.Unlock()
-		a.count(func(s *Stats) { s.Allocs++ })
+	c := a.cpuOf(cpu)
+	if off, ok := c.free[class].pop(); ok {
+		c.allocs.Add(1)
 		a.trackAlloc(off, class)
 		return a.h.ExtBase() + off + headerSize
 	}
-	c.mu.Unlock()
-
-	// Refill from the global list or carve a fresh run.
+	// Miss: drain the refiller's inbox first, then the global depot.
+	if off, ok := a.drainInbox(c, class); ok {
+		c.allocs.Add(1)
+		a.trackAlloc(off, class)
+		return a.h.ExtBase() + off + headerSize
+	}
 	blocks := a.refill(class)
 	if blocks == nil {
 		return 0
 	}
 	off := blocks[len(blocks)-1]
-	rest := blocks[:len(blocks)-1]
-	c.mu.Lock()
-	c.free[class] = append(c.free[class], rest...)
-	c.mu.Unlock()
-	a.count(func(s *Stats) { s.Allocs++; s.Refills++ })
+	for _, b := range blocks[:len(blocks)-1] {
+		c.free[class].push(b)
+	}
+	c.allocs.Add(1)
+	c.refills.Add(1)
 	a.trackAlloc(off, class)
 	return a.h.ExtBase() + off + headerSize
+}
+
+// drainInbox moves whatever the background refiller parked for this CPU
+// and class into the private cache and pops one block. Slow path only.
+func (a *Allocator) drainInbox(c *cpuCache, class int) (uint64, bool) {
+	c.inboxMu.Lock()
+	batch := c.inbox[class]
+	c.inbox[class] = nil
+	c.inboxMu.Unlock()
+	if len(batch) == 0 {
+		return 0, false
+	}
+	off := batch[len(batch)-1]
+	for _, b := range batch[:len(batch)-1] {
+		c.free[class].push(b)
+	}
+	return off, true
 }
 
 // refill obtains a batch of blocks of the class, from the global pool or by
@@ -226,7 +314,19 @@ func (a *Allocator) refill(class int) []uint64 {
 		a.global[class] = a.global[class][:n-take]
 		return out
 	}
-	// Carve a run of pages into blocks.
+	blocks := a.carveLocked(class)
+	if len(blocks) > cacheCap/2 {
+		// A run carves far more blocks than one magazine holds; bank
+		// the surplus in the depot.
+		a.global[class] = append(a.global[class], blocks[cacheCap/2:]...)
+		blocks = blocks[:cacheCap/2]
+	}
+	return blocks
+}
+
+// carveLocked carves a fresh run of pages into blocks of the class. Caller
+// holds a.mu.
+func (a *Allocator) carveLocked(class int) []uint64 {
 	bs := classSize(class) + headerSize
 	runBytes := uint64(runPages * heap.PageSize)
 	start := a.bump
@@ -237,7 +337,7 @@ func (a *Allocator) refill(class int) []uint64 {
 		return nil
 	}
 	a.bump += runBytes
-	a.stats.BumpBytes += runBytes
+	a.bumpBytes += runBytes
 	var out []uint64
 	for off := start; off+bs <= start+runBytes; off += bs {
 		if err := a.writeHeader(off, uint64(class)); err != nil {
@@ -245,9 +345,7 @@ func (a *Allocator) refill(class int) []uint64 {
 		}
 		out = append(out, off)
 	}
-	a.trackMu.Lock()
 	a.carved[class] += uint64(len(out))
-	a.trackMu.Unlock()
 	return out
 }
 
@@ -269,9 +367,8 @@ func (a *Allocator) mallocHuge(size uint64) uint64 {
 		return 0
 	}
 	a.bump += bytes
-	a.stats.BumpBytes += bytes
-	a.stats.HugeAllocs++
-	a.stats.Allocs++
+	a.bumpBytes += bytes
+	a.hugeAllocs++
 	if err := a.writeHeaderHuge(start, pages); err != nil {
 		return 0
 	}
@@ -289,6 +386,10 @@ func (a *Allocator) writeHeaderHuge(off, pages uint64) error {
 // Free returns the block at extension VA addr. Bad pointers (not produced
 // by Malloc, double frees of reused headers, addresses outside the heap)
 // return an error; kflex_free surfaces it as -EINVAL to the extension.
+// Cross-CPU frees are first-class: a block allocated on CPU A and freed on
+// CPU B simply enters B's magazine (block ownership travels with the
+// pointer; only the cache itself is per-CPU), and overflowing magazines
+// spill to the global depot under its lock.
 func (a *Allocator) Free(cpu int, addr uint64) error {
 	off := addr - a.h.ExtBase()
 	if off < ReservedRegion+headerSize || off >= a.h.Size() {
@@ -303,34 +404,35 @@ func (a *Allocator) Free(cpu int, addr uint64) error {
 		return fmt.Errorf("alloc: free of %#x: bad block header", addr)
 	}
 	class := hdr >> 32 & 0xff
+	c := a.cpuOf(cpu)
 	if class == hugeClass {
 		// Huge blocks are not recycled (bump region); this matches
 		// arenas where large extents return to the OS lazily.
-		a.count(func(s *Stats) { s.Frees++ })
+		c.frees.Add(1)
 		return nil
 	}
 	if class >= numClasses {
 		return fmt.Errorf("alloc: free of %#x: invalid class %d", addr, class)
 	}
 	a.trackFree(hdrOff)
-	c := &a.cpus[cpu%len(a.cpus)]
-	c.mu.Lock()
-	c.free[class] = append(c.free[class], hdrOff)
-	spill := len(c.free[class]) > cacheCap
-	var spilled []uint64
-	if spill {
-		half := len(c.free[class]) / 2
-		spilled = append(spilled, c.free[class][half:]...)
-		c.free[class] = c.free[class][:half]
-	}
-	c.mu.Unlock()
-	if spill {
+	cc := &c.free[class]
+	cc.push(hdrOff)
+	if int(cc.n.Load()) > cacheCap {
+		// Spill half to the global depot.
+		spill := make([]uint64, 0, cacheCap/2+1)
+		for len(spill) <= cacheCap/2 {
+			b, ok := cc.pop()
+			if !ok {
+				break
+			}
+			spill = append(spill, b)
+		}
 		a.mu.Lock()
-		a.global[int(class)] = append(a.global[int(class)], spilled...)
+		a.global[int(class)] = append(a.global[int(class)], spill...)
 		a.mu.Unlock()
-		a.count(func(s *Stats) { s.Spills++ })
+		c.spills.Add(1)
 	}
-	a.count(func(s *Stats) { s.Frees++ })
+	c.frees.Add(1)
 	return nil
 }
 
@@ -338,7 +440,9 @@ func (a *Allocator) Free(cpu int, addr uint64) error {
 // size class must be exactly once on a free list or (when tracking is on)
 // in the live set, with no duplicate offsets and a valid header. Chaos
 // tests call it after injected faults to prove no allocator blocks were
-// lost or double-listed during recovery. The allocator must be quiescent.
+// lost or double-listed during recovery. The allocator must be quiescent
+// for an exact answer; a concurrent audit (the supervisor's mid-traffic
+// quarantine) is race-free but may observe a transient imbalance.
 func (a *Allocator) CheckConsistency() error {
 	// Observation must not itself be an injection site: header reads go
 	// through the heap view, and an injected guard fault there would
@@ -347,21 +451,29 @@ func (a *Allocator) CheckConsistency() error {
 		a.fault.Disarm()
 		defer a.fault.Enable()
 	}
-	// Snapshot free lists per class.
+	// Snapshot free lists per class: depot, per-CPU magazines, inboxes.
 	free := make([][]uint64, numClasses)
 	a.mu.Lock()
 	for class := 0; class < numClasses; class++ {
 		free[class] = append(free[class], a.global[class]...)
 	}
 	bump := a.bump
+	carved := a.carved
 	a.mu.Unlock()
 	for i := range a.cpus {
 		c := &a.cpus[i]
-		c.mu.Lock()
 		for class := 0; class < numClasses; class++ {
-			free[class] = append(free[class], c.free[class]...)
+			cc := &c.free[class]
+			n := cc.n.Load()
+			for j := int32(0); j < n; j++ {
+				free[class] = append(free[class], cc.slots[j].Load())
+			}
 		}
-		c.mu.Unlock()
+		c.inboxMu.Lock()
+		for class := 0; class < numClasses; class++ {
+			free[class] = append(free[class], c.inbox[class]...)
+		}
+		c.inboxMu.Unlock()
 	}
 
 	a.trackMu.Lock()
@@ -369,7 +481,6 @@ func (a *Allocator) CheckConsistency() error {
 	for off, class := range a.live {
 		live[off] = class
 	}
-	carved := a.carved
 	tracking := a.live != nil
 	a.trackMu.Unlock()
 
@@ -455,32 +566,41 @@ func (a *Allocator) StopRefiller() {
 	a.refillStop = nil
 }
 
+// topUp parks depot blocks in the inbox of every CPU whose magazine has
+// run low (§4.1's background refill). The refiller never writes a private
+// magazine — it only reads the length gauges and fills the lock-guarded
+// inboxes, which owners drain on their next miss — so it cannot race the
+// lock-free fast path.
 func (a *Allocator) topUp() {
 	for i := range a.cpus {
 		c := &a.cpus[i]
 		for class := 0; class < numClasses; class++ {
-			c.mu.Lock()
-			low := len(c.free[class]) < refillLow && len(c.free[class]) > 0
-			c.mu.Unlock()
-			if !low {
+			n := int(c.free[class].n.Load())
+			if n == 0 || n >= refillLow {
 				continue
 			}
-			a.mu.Lock()
-			n := len(a.global[class])
-			take := refillLow
-			if take > n {
-				take = n
+			c.inboxMu.Lock()
+			pending := len(c.inbox[class])
+			c.inboxMu.Unlock()
+			if pending > 0 {
+				continue // previous top-up not yet drained
 			}
-			batch := append([]uint64(nil), a.global[class][n-take:]...)
-			a.global[class] = a.global[class][:n-take]
+			a.mu.Lock()
+			g := len(a.global[class])
+			take := refillLow
+			if take > g {
+				take = g
+			}
+			batch := append([]uint64(nil), a.global[class][g-take:]...)
+			a.global[class] = a.global[class][:g-take]
 			a.mu.Unlock()
 			if len(batch) == 0 {
 				continue
 			}
-			c.mu.Lock()
-			c.free[class] = append(c.free[class], batch...)
-			c.mu.Unlock()
-			a.count(func(s *Stats) { s.Refills++ })
+			c.inboxMu.Lock()
+			c.inbox[class] = append(c.inbox[class], batch...)
+			c.inboxMu.Unlock()
+			c.refills.Add(1)
 		}
 	}
 }

@@ -269,6 +269,55 @@ func (k *KFlexMC) Execute(cpu int, frame []byte) ([]byte, float64, error) {
 	return k.pkt.Reply, netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls), nil
 }
 
+// Worker is a per-goroutine executor bound to one simulated CPU: it owns
+// its packet buffer, hook context, and work counters, so concurrent
+// workers on distinct CPUs share nothing on the per-op path (§3.3's
+// per-CPU exclusivity). Obtain one per serving goroutine with
+// KFlexMC.Worker; a Worker itself must not be shared across goroutines.
+type Worker struct {
+	h   *kflex.Handle
+	pkt netsim.Packet
+	ctx []byte
+	// Errors and Fallbacks count failed invocations (Fallbacks the subset
+	// caused by degradation); Work accumulates VM counters per success.
+	Errors    uint64
+	Fallbacks uint64
+	Work      kflex.Stats
+}
+
+// Worker returns a private executor for the given CPU.
+func (k *KFlexMC) Worker(cpu int) *Worker {
+	return &Worker{
+		h:   k.handles[cpu%len(k.handles)],
+		ctx: make([]byte, kernel.HookXDP.CtxSize),
+	}
+}
+
+// Execute runs one frame on the worker's CPU and returns the reply and the
+// modeled execution cost. The reply buffer is reused across calls.
+func (w *Worker) Execute(frame []byte) ([]byte, float64, error) {
+	w.pkt.Data = frame
+	w.pkt.Reply = w.pkt.Reply[:0]
+	binary.LittleEndian.PutUint32(w.ctx[0:], uint32(len(frame)))
+	res, err := w.h.Run(&w.pkt, w.ctx)
+	if err != nil {
+		w.Errors++
+		if errors.Is(err, kflex.ErrFallback) {
+			w.Fallbacks++
+		}
+		return nil, 0, err
+	}
+	if res.Ret != kernel.XDPTx {
+		w.Errors++
+		return nil, 0, fmt.Errorf("memcached: extension returned %d", res.Ret)
+	}
+	w.Work.Add(res.Stats)
+	return w.pkt.Reply, netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls), nil
+}
+
+// WorkStats returns the worker's accumulated VM work counters.
+func (w *Worker) WorkStats() kflex.Stats { return w.Work }
+
 // Serve implements sim.System. A failed extension invocation (cancelled
 // mid-request, or refused after degradation) is re-served on the user-space
 // path — the paper's offload-miss handling (§5) — and counted in Errors.

@@ -439,6 +439,55 @@ func (k *KFlexRedis) Execute(cpu int, frame []byte) ([]byte, float64, error) {
 	return k.pkt.Reply, netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls), nil
 }
 
+// Worker is a per-goroutine executor bound to one simulated CPU: it owns
+// its packet buffer, hook context, and work counters, so concurrent
+// workers on distinct CPUs share nothing on the per-op path (§3.3's
+// per-CPU exclusivity). Obtain one per serving goroutine with
+// KFlexRedis.Worker; a Worker itself must not be shared across goroutines.
+type Worker struct {
+	h   *kflex.Handle
+	pkt netsim.Packet
+	ctx []byte
+	// Errors and Fallbacks count failed invocations (Fallbacks the subset
+	// caused by degradation); Work accumulates VM counters per success.
+	Errors    uint64
+	Fallbacks uint64
+	Work      kflex.Stats
+}
+
+// Worker returns a private executor for the given CPU.
+func (k *KFlexRedis) Worker(cpu int) *Worker {
+	return &Worker{
+		h:   k.handles[cpu%len(k.handles)],
+		ctx: make([]byte, kernel.HookSkSkb.CtxSize),
+	}
+}
+
+// Execute runs one frame on the worker's CPU and returns the reply and the
+// modeled execution cost. The reply buffer is reused across calls.
+func (w *Worker) Execute(frame []byte) ([]byte, float64, error) {
+	w.pkt.Data = frame
+	w.pkt.Reply = w.pkt.Reply[:0]
+	binary.LittleEndian.PutUint32(w.ctx[0:], uint32(len(frame)))
+	res, err := w.h.Run(&w.pkt, w.ctx)
+	if err != nil {
+		w.Errors++
+		if errors.Is(err, kflex.ErrFallback) {
+			w.Fallbacks++
+		}
+		return nil, 0, err
+	}
+	if res.Ret != Served {
+		w.Errors++
+		return nil, 0, fmt.Errorf("redis: extension returned %d", res.Ret)
+	}
+	w.Work.Add(res.Stats)
+	return w.pkt.Reply, netsim.ModelExtNs(res.Stats.Insns, res.Stats.HelperCalls), nil
+}
+
+// WorkStats returns the worker's accumulated VM work counters.
+func (w *Worker) WorkStats() kflex.Stats { return w.Work }
+
 // Serve implements sim.System: every request pays the TCP stack (§5.1) but
 // skips wakeup, context switch, and the reply syscall. A failed extension
 // invocation is re-served on the user-space path — the paper's offload-miss

@@ -300,12 +300,19 @@ func (h *Heap) offsetOf(addr uint64, n int, base uint64) (uint64, *Fault) {
 }
 
 // loadOff reads n little-endian bytes at heap offset off.
+//
+// Heap words are read with atomic loads: extensions on different CPUs (and
+// user-space threads of a shared heap) access the same backing words
+// concurrently, so the simulated memory must behave like real memory —
+// concurrent word accesses are tearing-free per word, and racy accesses
+// are a data-ordering question for the extension (settled by its spin
+// locks), never undefined behaviour in the runtime itself.
 func (h *Heap) loadOff(off uint64, n int) uint64 {
 	w := off / 8
 	shift := (off % 8) * 8
-	v := h.words[w] >> shift
+	v := atomic.LoadUint64(&h.words[w]) >> shift
 	if rem := 64 - shift; rem < uint64(n)*8 {
-		v |= h.words[w+1] << rem
+		v |= atomic.LoadUint64(&h.words[w+1]) << rem
 	}
 	if n < 8 {
 		v &= (uint64(1) << (uint(n) * 8)) - 1
@@ -313,18 +320,38 @@ func (h *Heap) loadOff(off uint64, n int) uint64 {
 	return v
 }
 
-// storeOff writes the low n bytes of val at heap offset off.
+// storeOff writes the low n bytes of val at heap offset off. An aligned
+// 8-byte store — the dominant case for pointer and value words — is one
+// atomic store; narrower or misaligned stores merge into their containing
+// word(s) by compare-and-swap, so a concurrent store to *other* bytes of
+// the same word is never lost (byte-granular stores behave like real
+// memory, not read-modify-write races).
 func (h *Heap) storeOff(off uint64, n int, val uint64) {
 	w := off / 8
 	shift := (off % 8) * 8
+	if n == 8 && shift == 0 {
+		atomic.StoreUint64(&h.words[w], val)
+		return
+	}
 	var m uint64 = ^uint64(0)
 	if n < 8 {
 		m = (uint64(1) << (uint(n) * 8)) - 1
 	}
 	val &= m
-	h.words[w] = h.words[w]&^(m<<shift) | val<<shift
+	casMerge(&h.words[w], m<<shift, val<<shift)
 	if rem := 64 - shift; rem < uint64(n)*8 {
-		h.words[w+1] = h.words[w+1]&^(m>>rem) | val>>rem
+		casMerge(&h.words[w+1], m>>rem, val>>rem)
+	}
+}
+
+// casMerge replaces the mask bits of *p with bits, preserving concurrent
+// writes to the other bits of the word.
+func casMerge(p *uint64, mask, bits uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if atomic.CompareAndSwapUint64(p, old, old&^mask|bits) {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,82 @@
+package supervisor_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"kflex"
+	"kflex/internal/supervisor"
+)
+
+// TestParallelRunDuringLifecycle hammers the supervisor from one goroutine
+// per CPU while the extension degrades, quarantines, reloads, and fails
+// its probes — the mid-traffic lifecycle. Under -race this proves the
+// quarantine audit (held-object counts, allocator consistency) can run
+// concurrently with sibling CPUs mid-invocation, and that generation
+// swaps never hand a worker a torn handle. Every outcome must be one of:
+// a cancelled run (the spinning extension's only successful result), a
+// fallback refusal while the circuit is open, or a stale-generation
+// refusal during a swap.
+func TestParallelRunDuringLifecycle(t *testing.T) {
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: kflex.NewRuntime(),
+		Spec:    spinningSpec(),
+		NumCPUs: 4,
+		Tuning: supervisor.Tuning{
+			BackoffBase: time.Millisecond,
+			BackoffMax:  2 * time.Millisecond,
+			ProbeRuns:   2,
+			JitterSeed:  3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+
+	const workers = 4
+	const iters = 150
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < workers; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			ctx := make([]byte, kflex.HookXDP.CtxSize)
+			for i := 0; i < iters; i++ {
+				res, err := sup.Run(cpu, nil, ctx)
+				switch {
+				case err == nil && res.Cancelled != kflex.CancelNone:
+					// Quantum-cancelled run: the expected "service".
+				case errors.Is(err, kflex.ErrFallback) || errors.Is(err, kflex.ErrUnloaded):
+					// Circuit open or mid-swap refusal: the caller's
+					// user-space fallback path. Yield so the backoff
+					// clock can make progress.
+					time.Sleep(200 * time.Microsecond)
+				case err != nil:
+					t.Errorf("cpu %d iter %d: unexpected error %v", cpu, i, err)
+					return
+				default:
+					t.Errorf("cpu %d iter %d: spinning run succeeded uncancelled: %+v", cpu, i, res)
+					return
+				}
+			}
+		}(cpu)
+	}
+	wg.Wait()
+
+	// The lifecycle must have actually cycled under load: at least one
+	// reload (quarantine → probe), with a coherent trace and audits.
+	if sup.Reloads() == 0 {
+		t.Fatalf("no reloads occurred; trace = %+v", sup.Trace())
+	}
+	if len(sup.Audits()) == 0 {
+		t.Fatal("no quarantine audits ran")
+	}
+	for i, a := range sup.Audits() {
+		if !a.Clean {
+			t.Fatalf("audit %d reported corruption: %+v", i, a)
+		}
+	}
+}

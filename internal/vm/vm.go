@@ -248,6 +248,14 @@ type Exec struct {
 	heldLocks []uint64 // ext VAs of spin locks acquired and not released
 	pins      [][]byte
 
+	// heldN/heldLocksN mirror len(held)/len(heldLocks) as atomics so
+	// HeldCounts can be polled from other goroutines (the supervisor's
+	// quarantine audit runs while sibling CPUs are still unwinding)
+	// without racing the owner's slice operations. Only the owning
+	// goroutine writes them.
+	heldN      atomic.Int32
+	heldLocksN atomic.Int32
+
 	inject *faultinject.Plan // nil in production
 
 	xlatVal   uint64
@@ -287,12 +295,14 @@ func (p *Program) NewExec(cpu int) *Exec {
 		Lock:   p.opts.Lock,
 		Hold: func(site int, obj *kernel.Object, ptr uint64) {
 			e.held = append(e.held, heldRef{site: site, obj: obj, ptr: ptr})
+			e.heldN.Store(int32(len(e.held)))
 		},
 		Unhold: func(ptr uint64) *kernel.Object {
 			for i := len(e.held) - 1; i >= 0; i-- {
 				if e.held[i].ptr == ptr {
 					obj := e.held[i].obj
 					e.held = append(e.held[:i], e.held[i+1:]...)
+					e.heldN.Store(int32(len(e.held)))
 					return obj
 				}
 			}
@@ -300,11 +310,13 @@ func (p *Program) NewExec(cpu int) *Exec {
 		},
 		HoldLock: func(addr uint64) {
 			e.heldLocks = append(e.heldLocks, addr)
+			e.heldLocksN.Store(int32(len(e.heldLocks)))
 		},
 		ReleaseLock: func(addr uint64) {
 			for i := len(e.heldLocks) - 1; i >= 0; i-- {
 				if e.heldLocks[i] == addr {
 					e.heldLocks = append(e.heldLocks[:i], e.heldLocks[i+1:]...)
+					e.heldLocksN.Store(int32(len(e.heldLocks)))
 					return
 				}
 			}
@@ -380,6 +392,8 @@ func (e *Exec) Run(event any, ctxBytes []byte) (Result, error) {
 	e.hc.Event = event
 	e.held = e.held[:0]
 	e.heldLocks = e.heldLocks[:0]
+	e.heldN.Store(0)
+	e.heldLocksN.Store(0)
 	e.pins = e.pins[:0]
 	e.xlatArmed = false
 	e.stats = Stats{}
@@ -457,6 +471,8 @@ func (e *Exec) doCancel(c *ExtensionAbort) (Result, error) {
 func (e *Exec) runCallback(code uint64) (uint64, error) {
 	e.held = e.held[:0]
 	e.heldLocks = e.heldLocks[:0]
+	e.heldN.Store(0)
+	e.heldLocksN.Store(0)
 	e.pins = e.pins[:0]
 	e.stats = Stats{}
 	e.regs[insn.R1] = code
@@ -470,6 +486,7 @@ func (e *Exec) releaseHeld() {
 		e.held[i].obj.Put()
 	}
 	e.held = e.held[:0]
+	e.heldN.Store(0)
 }
 
 // releaseLocks unlocks spin locks still held at cancellation, LIFO. A lock
@@ -484,6 +501,7 @@ func (e *Exec) releaseLocks() {
 		}
 	}
 	e.heldLocks = e.heldLocks[:0]
+	e.heldLocksN.Store(0)
 }
 
 // fault converts a heap fault into a cancellation (class-2 CPs) and any
@@ -580,9 +598,12 @@ func (e *Exec) ClearCancel() { e.cancelReq.Store(false) }
 // HeldCounts reports the kernel objects (object-table entries) and spin
 // locks this Exec currently holds. It is a diagnostic snapshot for
 // post-mortem audits: on a quiesced Exec both counts must be zero, since
-// both normal exit and cancellation release everything (§3.3).
+// both normal exit and cancellation release everything (§3.3). The counts
+// are atomic mirrors of the owner's object table, so the audit may poll
+// them while the Exec is mid-invocation on another goroutine (it then sees
+// a momentary in-flight value, not garbage).
 func (e *Exec) HeldCounts() (refs, locks int) {
-	return len(e.held), len(e.heldLocks)
+	return int(e.heldN.Load()), int(e.heldLocksN.Load())
 }
 
 func nowNS() int64 { return time.Now().UnixNano() }

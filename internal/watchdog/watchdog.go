@@ -63,6 +63,31 @@ func (w *Watchdog) Watch(t Target) {
 	w.targets = append(w.targets, t)
 }
 
+// WatchExec registers a single execution context, creating or extending
+// the program's target. It exists for dynamic registration: per-CPU
+// contexts are created lazily, and one that appears after monitoring
+// started must still be watched (a handle resolved mid-flight could
+// otherwise spin unbounded). Safe to call while the poller is running;
+// duplicate registrations — possible when registration races watchdog
+// start — are ignored.
+func (w *Watchdog) WatchExec(p *vm.Program, e *vm.Exec) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.targets {
+		if w.targets[i].Prog != p {
+			continue
+		}
+		for _, have := range w.targets[i].Execs {
+			if have == e {
+				return
+			}
+		}
+		w.targets[i].Execs = append(w.targets[i].Execs, e)
+		return
+	}
+	w.targets = append(w.targets, Target{Prog: p, Execs: []*vm.Exec{e}})
+}
+
 // Fired returns how many cancellations the watchdog initiated.
 func (w *Watchdog) Fired() int { return int(w.fired.Load()) }
 

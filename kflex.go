@@ -349,18 +349,29 @@ type Extension struct {
 	pipeline PipelineInfo
 	numCPUs  int
 
-	// execMu guards execs, the per-CPU execution-context pool: every
-	// Handle bound to the same simulated CPU shares one vm.Exec, so its
-	// register file, stack, and pin table are allocated once per CPU
-	// instead of once per Handle.
-	execMu sync.Mutex
-	execs  map[int]*vm.Exec
-	wd     *watchdog.Watchdog
+	// execs is the fixed per-CPU execution-slot table, sized NumCPUs at
+	// Load. Each slot publishes at most one Handle (and with it one
+	// vm.Exec) for its simulated CPU; Handle(cpu) resolves a slot with a
+	// single atomic load, so the per-op path of a parallel serving loop
+	// — one goroutine per CPU, each re-resolving its handle — takes no
+	// lock and performs no allocation. Slot creation races are settled by
+	// compare-and-swap; the loser adopts the winner's handle.
+	execs []execSlot
+	// wd is the active wall-clock watchdog (nil when not monitoring).
+	// It is an atomic pointer because Handle() reads it on the slot-miss
+	// path to register a freshly created exec with a watchdog that was
+	// started earlier — see newHandle for the publication ordering.
+	wd atomic.Pointer[watchdog.Watchdog]
 
 	fault           *faultinject.Plan
 	cancelThreshold uint64
 	degraded        atomic.Bool
 	unloads         atomic.Uint64
+}
+
+// execSlot is one entry of the per-CPU handle table.
+type execSlot struct {
+	h atomic.Pointer[Handle]
 }
 
 // Load builds an extension through the staged pipeline
@@ -487,7 +498,7 @@ func (r *Runtime) Load(spec Spec) (*Extension, error) {
 		report:          art.report,
 		analysis:        art.analysis,
 		numCPUs:         spec.NumCPUs,
-		execs:           make(map[int]*vm.Exec),
+		execs:           make([]execSlot, spec.NumCPUs),
 		fault:           spec.FaultPlan,
 		cancelThreshold: spec.CancelThreshold,
 	}
@@ -579,23 +590,62 @@ func (r *Runtime) loadCallback(spec Spec) (*vm.Program, error) {
 	return vm.New(rep, vm.Options{Hook: spec.Hook, Kernel: r.kern})
 }
 
-// Handle returns an execution handle bound to simulated CPU cpu. Handles
-// are not safe for concurrent use; create one per worker. Handles bound to
-// the same CPU share one per-CPU execution context (register file, stack,
-// pin table), so they must not run concurrently with each other — the
-// same discipline real per-CPU kernel contexts impose.
+// Handle returns the execution handle bound to simulated CPU cpu (indices
+// wrap modulo Spec.NumCPUs). A Handle is single-goroutine: it owns one
+// per-CPU execution context (register file, stack, pin table), so two
+// goroutines must never drive the same CPU index concurrently — the same
+// exclusivity real per-CPU kernel contexts impose. Distinct CPUs are fully
+// independent: one goroutine per CPU each calling Run is the intended
+// parallel serving loop.
+//
+// Repeated Handle(cpu) calls return the same *Handle with one atomic load
+// — no lock and no allocation — so per-op re-resolution in a hot serving
+// loop is free. Only the first call for a CPU takes the slow path that
+// builds and publishes the context.
 func (e *Extension) Handle(cpu int) *Handle {
-	e.execMu.Lock()
-	defer e.execMu.Unlock()
-	ex, ok := e.execs[cpu]
-	if !ok {
-		ex = e.prog.NewExec(cpu)
-		e.execs[cpu] = ex
+	idx := e.cpuIndex(cpu)
+	if h := e.execs[idx].h.Load(); h != nil {
+		return h
 	}
-	return &Handle{exec: ex, ext: e}
+	return e.newHandle(idx)
 }
 
-// Handle runs extension invocations on one simulated CPU.
+// cpuIndex maps an arbitrary CPU number onto the per-CPU slot table.
+func (e *Extension) cpuIndex(cpu int) int {
+	idx := cpu % len(e.execs)
+	if idx < 0 {
+		idx += len(e.execs)
+	}
+	return idx
+}
+
+// newHandle builds and publishes the handle for slot idx. Concurrent
+// creations for one slot settle by compare-and-swap: the loser discards
+// its context and adopts the winner's, preserving the one-exec-per-CPU
+// invariant.
+func (e *Extension) newHandle(idx int) *Handle {
+	h := &Handle{exec: e.prog.NewExec(idx), ext: e}
+	if !e.execs[idx].h.CompareAndSwap(nil, h) {
+		return e.execs[idx].h.Load()
+	}
+	// Register the new exec with a running watchdog. The ordering —
+	// publish the handle, then load wd — pairs with StartWatchdog, which
+	// stores wd before snapshotting the slots: whichever write lands
+	// second, at least one side observes the other, so an exec created
+	// concurrently with watchdog start is never left unwatched. Both
+	// sides observing each other is harmless: WatchExec deduplicates.
+	if wd := e.wd.Load(); wd != nil {
+		wd.WatchExec(e.prog, h.exec)
+	}
+	return h
+}
+
+// Handle runs extension invocations on one simulated CPU. A Handle is
+// single-goroutine: drive it from exactly one worker at a time (the
+// per-CPU exclusivity contract documented on Extension.Handle). Handles
+// for distinct CPUs share no mutable state and run fully in parallel;
+// the cross-CPU facts they touch — degradation, cancellation and unload
+// counters — are all atomics.
 type Handle struct {
 	exec *vm.Exec
 	ext  *Extension
@@ -707,10 +757,12 @@ func (e *Extension) Name() string { return e.name }
 // invocation is in flight — the object-table unwinding guarantee (§3.4);
 // the supervisor audits this before quarantining a heap.
 func (e *Extension) AuditHeld() (refs, locksHeld int) {
-	e.execMu.Lock()
-	defer e.execMu.Unlock()
-	for _, ex := range e.execs {
-		r, l := ex.HeldCounts()
+	for i := range e.execs {
+		h := e.execs[i].h.Load()
+		if h == nil {
+			continue
+		}
+		r, l := h.exec.HeldCounts()
 		refs += r
 		locksHeld += l
 	}
@@ -726,27 +778,31 @@ func (e *Extension) Cancels() uint64 { return e.prog.Cancels() }
 
 // StartWatchdog begins wall-clock stall monitoring with the given quantum
 // (§4.3; the paper's lockup watchdogs operate at second granularity).
+// Execution contexts created after this call are registered with the
+// watchdog dynamically, so a Handle first resolved mid-flight is watched
+// exactly like one that existed at start.
 func (e *Extension) StartWatchdog(quantum, poll time.Duration) {
-	if e.wd != nil {
-		return
+	wd := watchdog.New(quantum, poll)
+	wd.SetFaultPlan(e.fault)
+	if !e.wd.CompareAndSwap(nil, wd) {
+		return // already monitoring
 	}
-	e.execMu.Lock()
-	execs := make([]*vm.Exec, 0, len(e.execs))
-	for _, ex := range e.execs {
-		execs = append(execs, ex)
+	// Snapshot existing slots only after wd is published: a concurrent
+	// newHandle either lands in this snapshot or observes wd and
+	// registers itself (see newHandle); WatchExec deduplicates the
+	// overlap.
+	for i := range e.execs {
+		if h := e.execs[i].h.Load(); h != nil {
+			wd.WatchExec(e.prog, h.exec)
+		}
 	}
-	e.execMu.Unlock()
-	e.wd = watchdog.New(quantum, poll)
-	e.wd.SetFaultPlan(e.fault)
-	e.wd.Watch(watchdog.Target{Prog: e.prog, Execs: execs})
-	e.wd.Start()
+	wd.Start()
 }
 
 // StopWatchdog halts stall monitoring.
 func (e *Extension) StopWatchdog() {
-	if e.wd != nil {
-		e.wd.Stop()
-		e.wd = nil
+	if wd := e.wd.Swap(nil); wd != nil {
+		wd.Stop()
 	}
 }
 
