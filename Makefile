@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-concurrency chaos fuzz vet check bench bench-smoke clean
+.PHONY: all build test race race-concurrency chaos recovery fuzz vet check bench bench-smoke clean
 
 all: build
 
@@ -30,26 +30,41 @@ race-concurrency:
 chaos:
 	$(GO) test -short -race -run 'TestChaos' -timeout 120s .
 
+# Durability and failover suite under the race detector: the WAL/snapshot
+# engine with storage fault injection, log-shipping replication, the
+# crash-consistency chaos pass, and the failover determinism check.
+recovery:
+	$(GO) test -race -count=1 -timeout 300s ./internal/durable/...
+	$(GO) test -race -count=1 -timeout 300s -run 'TestChaosDurable|TestChaosFailover|TestWarmReload|TestColdReload' \
+		. ./internal/supervisor/
+
 # Brief fuzz sessions for the instruction codec, disassembler, the
-# text-assembler front end, and interpreter/lowered-tier equivalence.
+# text-assembler front end, interpreter/lowered-tier equivalence, and the
+# WAL replay path over mutated segment bytes.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzCodecRoundtrip -fuzztime=20s ./insn/
 	$(GO) test -run=NONE -fuzz=FuzzDisasm -fuzztime=20s ./insn/
 	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=20s ./asm/
 	$(GO) test -run=NONE -fuzz=FuzzLoweredEquivalence -fuzztime=20s .
+	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=20s ./internal/durable/
 
 # The committed benchmarks: the pipeline comparison (interpreter vs
-# lowered tier, BENCH_pipeline.json) and the multi-core scaling curve
-# (closed-loop workers at 1/2/4/8 CPUs, BENCH_scale.json).
+# lowered tier, BENCH_pipeline.json), the multi-core scaling curve
+# (closed-loop workers at 1/2/4/8 CPUs, BENCH_scale.json), and the
+# durability/failover measurements (warm vs cold reload latency across
+# delta sizes, replay cost vs snapshot coverage, failover time,
+# BENCH_recovery.json).
 bench: build
 	$(GO) run ./cmd/kfbench -run pipeline -json BENCH_pipeline.json
 	$(GO) run ./cmd/kfbench -run scale -json BENCH_scale.json
+	$(GO) run ./cmd/kfbench -run recovery -json BENCH_recovery.json
 
-# CI-scale benchmark smoke: sanity-checks that both experiments run and
+# CI-scale benchmark smoke: sanity-checks that the experiments run and
 # their reports are produced, without committing the throwaway numbers.
 bench-smoke: build
 	$(GO) run ./cmd/kfbench -run pipeline -quick -json /tmp/BENCH_pipeline_smoke.json
 	$(GO) run ./cmd/kfbench -run scale -quick -json /tmp/BENCH_scale_smoke.json
+	$(GO) run ./cmd/kfbench -run recovery -quick -json /tmp/BENCH_recovery_smoke.json
 
 # The pre-merge gate: vet, build, the full test suite under the race
 # detector (includes the chaos suite), then the short chaos pass alone to

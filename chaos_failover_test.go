@@ -1,0 +1,178 @@
+// Failover chaos: a supervised Memcached primary runs on an adversarial
+// storage device with a follower tailing its durable store's log. The
+// primary "dies" mid-traffic, the follower is promoted, and a fresh
+// supervised deployment is stood up on the promoted store. Two runs with
+// the same seed must converge to bit-identical promoted stores and
+// identical extension counters.
+package kflex_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kflex/internal/apps/memcached"
+	"kflex/internal/durable"
+	"kflex/internal/durable/replica"
+	"kflex/internal/faultinject"
+	"kflex/internal/supervisor"
+	"kflex/internal/workload"
+)
+
+type failoverRun struct {
+	hash    uint64
+	seq     uint64
+	repl    replica.Metrics
+	shipped uint64
+	// Counters of the post-failover deployment: every request it served
+	// and how it served them.
+	offloaded, fallbacks uint64
+	stats                supervisor.Stats
+}
+
+// runFailoverScenario drives traffic into a primary under storage faults
+// with periodic log shipping, promotes the follower, and serves the tail
+// of the workload from a deployment rebuilt on the promoted store.
+func runFailoverScenario(t *testing.T, seed int64) failoverRun {
+	t.Helper()
+	storePlan := faultinject.NewPlan(seed).
+		SetRate(faultinject.StoreShort, 0.04).
+		SetRate(faultinject.StoreSync, 0.08)
+	primaryDir := durable.NewMemDir(storePlan)
+	primary, _, err := durable.Open(primaryDir, durable.Options{SyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	followerDir := durable.NewMemDir(nil)
+	local, _, err := durable.Open(followerDir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower := replica.NewFollower(primary, local)
+
+	cfg := memcached.DefaultConfig(workload.Mix{GetPct: 50})
+	cfg.Seed = seed
+	cfg.Preload = false
+	cfg.Durable = primary
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	tuning := supervisor.Tuning{
+		BackoffBase: time.Millisecond,
+		BackoffMax:  8 * time.Millisecond,
+		ProbeRuns:   1,
+		JitterSeed:  seed + 1,
+		Now:         clk.Now,
+	}
+	mc, err := memcached.NewSupervised(cfg, 1, tuning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := mc.Supervisor()
+
+	keyOf := func(i int) []byte { return workload.FormatKey(uint64(i+1), memcached.KeySize) }
+	valOf := func(i, ver int) []byte {
+		return workload.FormatValue(uint64(i+1)*100+uint64(ver), cfg.ValueSize)
+	}
+
+	// Mid-traffic log shipping: the primary serves SETs (write-through to
+	// its durable store) under storage faults; every 10 ops the follower
+	// tails the log. One operator quarantine mid-stream exercises a reload
+	// while replication is active.
+	const keys = 24
+	storePlan.Enable()
+	for i := 0; i < 120; i++ {
+		k := i % keys
+		reply, _, _ := mc.Execute(0, memcached.EncodeSet(keyOf(k), valOf(k, i/keys)))
+		if len(reply) != 1 || reply[0] != 'S' {
+			t.Fatalf("primary SET %d: %q", i, reply)
+		}
+		if i == 60 {
+			sup.Quarantine("maintenance")
+			clk.Advance(10 * time.Millisecond)
+		}
+		if i%10 == 9 {
+			if _, err := follower.CatchUp(); err != nil {
+				t.Fatalf("CatchUp at %d: %v", i, err)
+			}
+		}
+	}
+	storePlan.Disarm()
+	shippedAt := local.Seq()
+
+	// Primary dies: stop talking to it entirely. Promote the follower and
+	// stand up a fresh supervised deployment on the promoted store.
+	mc.Close()
+	promoted := follower.Promote()
+	if promoted.Seq() != shippedAt {
+		t.Fatalf("promotion moved the store: seq %d vs shipped %d", promoted.Seq(), shippedAt)
+	}
+	cfg2 := cfg
+	cfg2.FaultPlan = nil
+	cfg2.Durable = promoted
+	mc2, err := memcached.NewSupervised(cfg2, 1, tuning)
+	if err != nil {
+		t.Fatalf("failover deployment: %v", err)
+	}
+	t.Cleanup(mc2.Close)
+
+	// The new deployment serves the replicated prefix: every key the
+	// follower shipped must read back with its last replicated value.
+	for k := 0; k < keys; k++ {
+		want := promoted.Get(keyOf(k))
+		if want == nil {
+			continue // key's records were past the shipped prefix
+		}
+		reply, _, _ := mc2.Execute(0, memcached.EncodeGet(keyOf(k)))
+		if len(reply) < 1 || reply[0] != 'V' || !bytes.Equal(reply[1:], want) {
+			t.Fatalf("failover GET %d: %q, want V%q", k, reply, want)
+		}
+	}
+	// And takes new writes durably.
+	for k := 0; k < keys; k++ {
+		reply, _, _ := mc2.Execute(0, memcached.EncodeSet(keyOf(k), valOf(k, 99)))
+		if len(reply) != 1 || reply[0] != 'S' {
+			t.Fatalf("post-failover SET %d: %q", k, reply)
+		}
+	}
+
+	return failoverRun{
+		hash:      promoted.Hash(),
+		seq:       promoted.Seq(),
+		repl:      follower.Metrics(),
+		shipped:   shippedAt,
+		offloaded: mc2.Offloaded,
+		fallbacks: mc2.Fallbacks,
+		stats:     mc2.Supervisor().Stats(),
+	}
+}
+
+func TestChaosFailoverPromotion(t *testing.T) {
+	run := runFailoverScenario(t, 1234)
+	if run.seq == 0 {
+		t.Fatal("follower shipped nothing before promotion")
+	}
+	if run.repl.Shipped == 0 && run.repl.FullSyncs == 0 {
+		t.Fatalf("no replication happened: %+v", run.repl)
+	}
+}
+
+// TestChaosFailoverDeterminism: identical seeds must produce bit-identical
+// promoted stores (hash and sequence) and identical extension counters on
+// the post-failover deployment.
+func TestChaosFailoverDeterminism(t *testing.T) {
+	a := runFailoverScenario(t, 4242)
+	b := runFailoverScenario(t, 4242)
+	if a.hash != b.hash || a.seq != b.seq || a.shipped != b.shipped {
+		t.Fatalf("promoted stores diverged: %#x/%d/%d vs %#x/%d/%d",
+			a.hash, a.seq, a.shipped, b.hash, b.seq, b.shipped)
+	}
+	if a.repl != b.repl {
+		t.Fatalf("replication metrics diverged: %+v vs %+v", a.repl, b.repl)
+	}
+	if a.offloaded != b.offloaded || a.fallbacks != b.fallbacks {
+		t.Fatalf("extension counters diverged: offloaded %d/%d fallbacks %d/%d",
+			a.offloaded, b.offloaded, a.fallbacks, b.fallbacks)
+	}
+	if a.stats != b.stats {
+		t.Fatalf("lifecycle stats diverged:\n%+v\n%+v", a.stats, b.stats)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"kflex"
+	"kflex/internal/durable"
 	"kflex/internal/faultinject"
 	"kflex/internal/kernel"
 	"kflex/internal/maps"
@@ -85,6 +86,38 @@ func ParseRequest(frame []byte) (op int, key, value []byte) {
 }
 
 // --- Native store (the user-space server and the BMC fallback) --------------------
+
+// KV is the authoritative-store surface the deployments are written
+// against: the in-memory Store and the WAL-backed durable.Store both
+// satisfy it, so a deployment gains crash durability by construction —
+// swap the store, keep the serving logic.
+type KV interface {
+	// Get returns the value bytes or nil.
+	Get(key []byte) []byte
+	// Set stores value under key.
+	Set(key, value []byte)
+	// Range visits every key/value pair in sorted key order
+	// (deterministic resync replay).
+	Range(fn func(key, value []byte) error) error
+}
+
+// HandleKV processes one request frame against any authoritative store
+// and returns the reply.
+func HandleKV(kv KV, frame []byte, reply []byte) []byte {
+	op, key, value := ParseRequest(frame)
+	switch op {
+	case wireGet:
+		v := kv.Get(key)
+		if v == nil {
+			return append(reply[:0], 'M')
+		}
+		return append(append(reply[:0], 'V'), v...)
+	case wireSet:
+		kv.Set(key, value)
+		return append(reply[:0], 'S')
+	}
+	return append(reply[:0], 'E')
+}
 
 // shards stripes the store's locks, as production Memcached does.
 const shards = 16
@@ -162,19 +195,7 @@ func (s *Store) Range(fn func(key, value []byte) error) error {
 
 // Handle processes one request frame natively and returns the reply.
 func (s *Store) Handle(frame []byte, reply []byte) []byte {
-	op, key, value := ParseRequest(frame)
-	switch op {
-	case wireGet:
-		v := s.Get(key)
-		if v == nil {
-			return append(reply[:0], 'M')
-		}
-		return append(append(reply[:0], 'V'), v...)
-	case wireSet:
-		s.Set(key, value)
-		return append(reply[:0], 'S')
-	}
-	return append(reply[:0], 'E')
+	return HandleKV(s, frame, reply)
 }
 
 // --- Shared harness pieces ---------------------------------------------------------
@@ -200,6 +221,16 @@ type Config struct {
 	// instead of the lowered tier (differential testing and the
 	// interpreter side of the pipeline benchmark).
 	Interpret bool
+	// Durable, when non-nil, replaces the supervised deployment's
+	// in-memory authoritative store with a WAL-backed durable store:
+	// every acknowledged SET is write-ahead logged, reload resync replays
+	// from it, and a process restart recovers the full store from disk.
+	Durable *durable.Store
+	// ColdReload disables warm heap adoption across supervisor reloads:
+	// every reload links a fresh heap and re-pushes the full store. The
+	// recovery benchmark uses it as the baseline the O(delta) warm path
+	// is measured against.
+	ColdReload bool
 }
 
 // DefaultConfig mirrors §5.1 with 64 B values.
@@ -246,7 +277,7 @@ func NewUserSpace(cfg Config) *UserSpace {
 	return u
 }
 
-func preloadStore(s *Store, vsz int) {
+func preloadStore(s KV, vsz int) {
 	for k := uint64(1); k <= workload.KeySpace; k++ {
 		s.Set(workload.FormatKey(k, KeySize), workload.FormatValue(k, vsz))
 	}

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"kflex"
+	"kflex/internal/durable"
 	"kflex/internal/kernel"
 	"kflex/internal/netsim"
 	"kflex/internal/sim"
@@ -31,23 +33,48 @@ import (
 type Supervised struct {
 	cfg   Config
 	sup   *supervisor.Supervisor
-	store *Store
+	store KV
 	fac   *reqFactory
 	pkt   netsim.Packet
 	ctx   []byte
 	reply []byte
+	// dirty tracks keys whose authoritative value may differ from the
+	// extension heap's copy: SETs acknowledged on the fallback path while
+	// the circuit was open (or the run was cancelled mid-flight). A warm
+	// reload replays exactly this set — the O(delta) resync contract —
+	// and GETs served from a stale heap are corrected against it.
+	dirty map[string]struct{}
+	// recovery is the durable store's RecoveryInfo, reported through the
+	// first generation's InitReport and then consumed.
+	recovery *durable.RecoveryInfo
 	// Offloaded counts requests served by the extension; Fallbacks counts
 	// requests served by the user-space store (open circuit, probe quota,
-	// cancelled run, or durable-store GET backfill).
+	// cancelled run, durable-store GET backfill, or dirty-key correction).
 	Offloaded, Fallbacks uint64
 }
 
 // NewSupervised builds the supervised deployment. tuning configures the
-// circuit breaker (zero values take supervisor defaults).
+// circuit breaker (zero values take supervisor defaults). With
+// cfg.Durable set, the authoritative store is the WAL-backed durable
+// store (pass its RecoveryInfo through NewSupervisedRecovered to surface
+// recovery metrics in the supervisor stats).
 func NewSupervised(cfg Config, servers int, tuning supervisor.Tuning) (*Supervised, error) {
+	return NewSupervisedRecovered(cfg, servers, tuning, nil)
+}
+
+// NewSupervisedRecovered is NewSupervised for a recovered durable store:
+// info (from durable.Open) is folded into the initial generation's
+// InitReport so Supervisor.Stats reports the WAL replay that rebuilt the
+// store.
+func NewSupervisedRecovered(cfg Config, servers int, tuning supervisor.Tuning, info *durable.RecoveryInfo) (*Supervised, error) {
 	rt := kflex.NewRuntime()
 	RegisterHelpers(rt)
-	m := &Supervised{cfg: cfg, store: NewStore(), fac: newReqFactory(cfg)}
+	var store KV = cfg.Durable
+	if cfg.Durable == nil {
+		store = NewStore()
+	}
+	m := &Supervised{cfg: cfg, store: store, fac: newReqFactory(cfg),
+		dirty: make(map[string]struct{}), recovery: info}
 	if cfg.Preload {
 		preloadStore(m.store, cfg.ValueSize)
 	}
@@ -66,7 +93,11 @@ func NewSupervised(cfg Config, servers int, tuning supervisor.Tuning) (*Supervis
 		},
 		NumCPUs: servers,
 		Init:    m.resync,
-		Tuning:  tuning,
+		// The deployment is single-driver (one request at a time per cpu
+		// slot), so the next generation can safely adopt a cleanly
+		// audited heap and resync only the dirty set.
+		WarmReload: !cfg.ColdReload,
+		Tuning:     tuning,
 	})
 	if err != nil {
 		return nil, err
@@ -75,12 +106,21 @@ func NewSupervised(cfg Config, servers int, tuning supervisor.Tuning) (*Supervis
 	return m, nil
 }
 
-// resync initialises a fresh generation and replays the durable store into
-// its heap, in sorted key order so the replay is deterministic.
-func (m *Supervised) resync(ext *kflex.Extension, handles []*kflex.Handle) error {
+// resync initialises a generation's heap from the authoritative store, in
+// sorted key order so the replay is deterministic. A cold generation
+// (fresh heap) is initialised and receives every key; a warm generation
+// adopted the previous heap, so only the dirty set — keys acknowledged on
+// the fallback path while the heap was out of service — is replayed.
+func (m *Supervised) resync(g supervisor.Generation) (supervisor.InitReport, error) {
+	var rep supervisor.InitReport
+	if m.recovery != nil {
+		rep.ReplayedRecords = m.recovery.Replayed
+		rep.SnapshotLoaded = m.recovery.SnapshotLoaded != ""
+		m.recovery = nil
+	}
 	run := func(frame []byte) error {
 		pkt := &netsim.Packet{Data: frame}
-		res, err := handles[0].Run(pkt, pkt.XDPCtx(0))
+		res, err := g.Handles[0].Run(pkt, pkt.XDPCtx(0))
 		if err != nil {
 			return err
 		}
@@ -89,12 +129,43 @@ func (m *Supervised) resync(ext *kflex.Extension, handles []*kflex.Handle) error
 		}
 		return nil
 	}
-	if err := run([]byte{'i'}); err != nil {
-		return err
+	if g.Warm {
+		// The adopted heap already holds every key the old generation
+		// served; push only the delta, sorted for determinism.
+		keys := make([]string, 0, len(m.dirty))
+		for k := range m.dirty {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := m.store.Get([]byte(k))
+			if v == nil {
+				continue
+			}
+			if err := run(EncodeSet([]byte(k), v)); err != nil {
+				return rep, err
+			}
+			rep.ResyncOps++
+		}
+		m.dirty = make(map[string]struct{})
+		return rep, nil
 	}
-	return m.store.Range(func(key, value []byte) error {
-		return run(EncodeSet(key, value))
+	rep.FullResync = true
+	if err := run([]byte{'i'}); err != nil {
+		return rep, err
+	}
+	err := m.store.Range(func(key, value []byte) error {
+		if err := run(EncodeSet(key, value)); err != nil {
+			return err
+		}
+		rep.ResyncOps++
+		return nil
 	})
+	if err != nil {
+		return rep, err
+	}
+	m.dirty = make(map[string]struct{})
+	return rep, nil
 }
 
 // Execute serves one frame: on the extension when the circuit admits it,
@@ -111,23 +182,33 @@ func (m *Supervised) Execute(cpu int, frame []byte) (reply []byte, extNs float64
 	if err != nil || res.Ret != kernel.XDPTx {
 		// Open circuit, probe quota, or a cancelled run: the durable
 		// store serves the request — the paper's offload-miss path (§5).
+		// A SET acknowledged here is invisible to the (stale) heap, so it
+		// joins the dirty set the next warm resync will replay.
 		m.Fallbacks++
-		m.reply = m.store.Handle(frame, m.reply)
+		if op, key, _ := ParseRequest(frame); op == wireSet {
+			m.dirty[string(key)] = struct{}{}
+		}
+		m.reply = HandleKV(m.store, frame, m.reply)
 		return m.reply, 0, false
 	}
 	op, key, value := ParseRequest(frame)
 	if op == wireSet {
 		// Write-through: the durable store mirrors every offloaded SET
-		// so a reloaded generation can be resynced from it.
+		// so a reloaded generation can be resynced from it. The heap now
+		// holds the same value, so the key is no longer dirty.
 		m.store.Set(key, value)
+		delete(m.dirty, string(key))
 	}
-	if op == wireGet && len(m.pkt.Reply) == 1 && m.pkt.Reply[0] == 'M' {
-		// The entry may have landed while the circuit was open; the
-		// durable store is authoritative for acknowledged SETs.
-		if v := m.store.Get(key); v != nil {
-			m.Fallbacks++
-			m.reply = append(append(m.reply[:0], 'V'), v...)
-			return m.reply, 0, false
+	if op == wireGet {
+		if _, stale := m.dirty[string(key)]; stale || len(m.pkt.Reply) == 1 && m.pkt.Reply[0] == 'M' {
+			// Dirty key (heap copy stale) or extension miss (the entry
+			// may have landed while the circuit was open): the durable
+			// store is authoritative for acknowledged SETs.
+			if v := m.store.Get(key); v != nil {
+				m.Fallbacks++
+				m.reply = append(append(m.reply[:0], 'V'), v...)
+				return m.reply, 0, false
+			}
 		}
 	}
 	m.Offloaded++
@@ -159,8 +240,9 @@ func (m *Supervised) Name() string { return "KFlex supervised" }
 // Supervisor exposes the lifecycle supervisor (state, trace, audits).
 func (m *Supervised) Supervisor() *supervisor.Supervisor { return m.sup }
 
-// Store exposes the durable user-space store.
-func (m *Supervised) Store() *Store { return m.store }
+// Store exposes the authoritative user-space store (a *Store by default,
+// the WAL-backed durable store when Config.Durable is set).
+func (m *Supervised) Store() KV { return m.store }
 
 // Close retires the live generation.
 func (m *Supervised) Close() { m.sup.Close() }

@@ -27,6 +27,7 @@ import (
 	"kflex"
 	"kflex/internal/apps/kvprog"
 	"kflex/internal/ds"
+	"kflex/internal/durable"
 	"kflex/internal/faultinject"
 	"kflex/internal/kernel"
 	"kflex/internal/netsim"
@@ -140,6 +141,10 @@ type Config struct {
 	// instead of the lowered tier (differential testing and the
 	// interpreter side of the pipeline benchmark).
 	Interpret bool
+	// Durable, when set, replaces KeyDB as the supervised deployment's
+	// authoritative store with a WAL-backed durable store: acknowledged
+	// writes survive process crashes and are replayed on reopen.
+	Durable *durable.Store
 }
 
 // DefaultConfig mirrors §5.1.
@@ -192,6 +197,9 @@ func (k *KeyDB) set(key, value []byte) {
 	sh.mu.Unlock()
 }
 
+// Set stores a copy of value under key.
+func (k *KeyDB) Set(key, value []byte) { k.set(key, value) }
+
 // Get returns the stored value bytes or nil.
 func (k *KeyDB) Get(key []byte) []byte {
 	sh := k.shardOf(key)
@@ -225,18 +233,24 @@ func (k *KeyDB) Range(fn func(key, value []byte) error) error {
 	return nil
 }
 
-// Handle processes one RESP frame natively.
-func (k *KeyDB) Handle(frame []byte, reply []byte) []byte {
+// KV is the store contract the supervised deployment serves from: both
+// *KeyDB and the WAL-backed *durable.Store satisfy it. Range must visit
+// keys in sorted order so reload resyncs are deterministic.
+type KV interface {
+	Get(key []byte) []byte
+	Set(key, value []byte)
+	Range(fn func(key, value []byte) error) error
+}
+
+// HandleRESP processes one RESP GET/SET frame against any KV store.
+func HandleRESP(kv KV, frame []byte, reply []byte) []byte {
 	args, err := ParseCommand(frame)
 	if err != nil || len(args) < 2 {
 		return append(reply[:0], "-ERR\r\n"...)
 	}
 	switch string(args[0]) {
 	case "GET":
-		sh := k.shardOf(args[1])
-		sh.mu.Lock()
-		v := sh.kv[string(args[1])]
-		sh.mu.Unlock()
+		v := kv.Get(args[1])
 		if v == nil {
 			return append(reply[:0], "$-1\r\n"...)
 		}
@@ -247,10 +261,15 @@ func (k *KeyDB) Handle(frame []byte, reply []byte) []byte {
 		if len(args) < 3 {
 			return append(reply[:0], "-ERR\r\n"...)
 		}
-		k.set(args[1], args[2])
+		kv.Set(args[1], args[2])
 		return append(reply[:0], "+OK\r\n"...)
 	}
 	return append(reply[:0], "-ERR\r\n"...)
+}
+
+// Handle processes one RESP frame natively.
+func (k *KeyDB) Handle(frame []byte, reply []byte) []byte {
+	return HandleRESP(k, frame, reply)
 }
 
 // Serve implements sim.System.

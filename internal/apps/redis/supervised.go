@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"kflex"
 	"kflex/internal/apps/kvprog"
+	"kflex/internal/durable"
 	"kflex/internal/kernel"
 	"kflex/internal/netsim"
 	"kflex/internal/sim"
@@ -17,20 +19,28 @@ import (
 
 // Supervised is the KFlex Redis deployment routed through the lifecycle
 // supervisor. While the circuit is open, requests are answered by the
-// KeyDB user-space store; a reload resyncs the store into the fresh heap
-// and traffic returns to the sk_skb offload. Every offloaded SET is
-// written through to KeyDB, so no acknowledged write is lost across a
+// user-space store (KeyDB, or the WAL-backed durable store when
+// Config.Durable is set); a reload resyncs the store into the heap and
+// traffic returns to the sk_skb offload. Every offloaded SET is written
+// through to the store, so no acknowledged write is lost across a
 // quarantine/reload cycle.
 type Supervised struct {
 	cfg   Config
 	sup   *supervisor.Supervisor
-	db    *KeyDB
+	db    KV
 	fac   *reqFactory
 	pkt   netsim.Packet
 	ctx   []byte
 	reply []byte
+	// dirty tracks keys SET on the fallback path while the extension heap
+	// was out of service; a warm reload replays exactly this set and GETs
+	// from a stale heap are corrected against it.
+	dirty map[string]struct{}
+	// recovery is the durable store's RecoveryInfo, reported through the
+	// first generation's InitReport and then consumed.
+	recovery *durable.RecoveryInfo
 	// Offloaded counts requests served by the extension; Fallbacks counts
-	// requests served by KeyDB.
+	// requests served by the user-space store.
 	Offloaded, Fallbacks uint64
 }
 
@@ -40,6 +50,14 @@ var respNil = []byte("$-1\r\n")
 // NewSupervised builds the supervised deployment. tuning configures the
 // circuit breaker (zero values take supervisor defaults).
 func NewSupervised(cfg Config, servers int, tuning supervisor.Tuning) (*Supervised, error) {
+	return NewSupervisedRecovered(cfg, servers, tuning, nil)
+}
+
+// NewSupervisedRecovered is NewSupervised for a recovered durable store:
+// info (from durable.Open) is folded into the initial generation's
+// InitReport so Supervisor.Stats reports the WAL replay that rebuilt the
+// store.
+func NewSupervisedRecovered(cfg Config, servers int, tuning supervisor.Tuning, info *durable.RecoveryInfo) (*Supervised, error) {
 	rt := kflex.NewRuntime()
 	RegisterHelpers(rt)
 	prog := kvprog.Build(kvprog.Options{
@@ -49,10 +67,19 @@ func NewSupervised(cfg Config, servers int, tuning supervisor.Tuning) (*Supervis
 		RetPass:     kernel.SkPass,
 		RetErr:      kernel.SkDrop,
 	})
-	// NewKeyDB handles preloading the durable store; the initial resync
-	// replays it into the extension heap.
-	r := &Supervised{cfg: cfg, db: NewKeyDB(cfg),
-		fac: &reqFactory{gen: workload.NewGenerator(cfg.Seed, cfg.Mix)}}
+	var db KV = cfg.Durable
+	if cfg.Durable == nil {
+		// NewKeyDB handles preloading; the initial resync replays the
+		// store into the extension heap.
+		db = NewKeyDB(cfg)
+	} else if cfg.Preload {
+		for key := uint64(1); key <= workload.KeySpace; key++ {
+			db.Set(workload.FormatKey(key, KeySize), workload.FormatValue(key, ValueSize))
+		}
+	}
+	r := &Supervised{cfg: cfg, db: db,
+		fac:   &reqFactory{gen: workload.NewGenerator(cfg.Seed, cfg.Mix)},
+		dirty: make(map[string]struct{}), recovery: info}
 	sup, err := supervisor.New(supervisor.Config{
 		Runtime: rt,
 		Spec: kflex.Spec{
@@ -68,7 +95,10 @@ func NewSupervised(cfg Config, servers int, tuning supervisor.Tuning) (*Supervis
 		},
 		NumCPUs: servers,
 		Init:    r.resync,
-		Tuning:  tuning,
+		// One request at a time per cpu slot: safe to adopt a cleanly
+		// audited heap across reloads and resync only the dirty set.
+		WarmReload: true,
+		Tuning:     tuning,
 	})
 	if err != nil {
 		return nil, err
@@ -77,14 +107,22 @@ func NewSupervised(cfg Config, servers int, tuning supervisor.Tuning) (*Supervis
 	return r, nil
 }
 
-// resync initialises a fresh generation and replays KeyDB into its heap,
-// in sorted key order so the replay is deterministic.
-func (r *Supervised) resync(ext *kflex.Extension, handles []*kflex.Handle) error {
+// resync initialises a generation's heap from the store, in sorted key
+// order so the replay is deterministic. A cold generation (fresh heap)
+// is initialised and receives every key; a warm generation adopted the
+// previous heap and replays only the dirty set.
+func (r *Supervised) resync(g supervisor.Generation) (supervisor.InitReport, error) {
+	var rep supervisor.InitReport
+	if r.recovery != nil {
+		rep.ReplayedRecords = r.recovery.Replayed
+		rep.SnapshotLoaded = r.recovery.SnapshotLoaded != ""
+		r.recovery = nil
+	}
 	run := func(frame []byte) error {
 		pkt := &netsim.Packet{Data: frame}
 		ctx := make([]byte, kernel.HookSkSkb.CtxSize)
 		binary.LittleEndian.PutUint32(ctx[0:], uint32(len(frame)))
-		res, err := handles[0].Run(pkt, ctx)
+		res, err := g.Handles[0].Run(pkt, ctx)
 		if err != nil {
 			return err
 		}
@@ -93,12 +131,41 @@ func (r *Supervised) resync(ext *kflex.Extension, handles []*kflex.Handle) error
 		}
 		return nil
 	}
-	if err := run([]byte{'i'}); err != nil {
-		return err
+	if g.Warm {
+		keys := make([]string, 0, len(r.dirty))
+		for k := range r.dirty {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := r.db.Get([]byte(k))
+			if v == nil {
+				continue
+			}
+			if err := run(EncodeCommand([]byte("SET"), []byte(k), v)); err != nil {
+				return rep, err
+			}
+			rep.ResyncOps++
+		}
+		r.dirty = make(map[string]struct{})
+		return rep, nil
 	}
-	return r.db.Range(func(key, value []byte) error {
-		return run(EncodeCommand([]byte("SET"), key, value))
+	rep.FullResync = true
+	if err := run([]byte{'i'}); err != nil {
+		return rep, err
+	}
+	err := r.db.Range(func(key, value []byte) error {
+		if err := run(EncodeCommand([]byte("SET"), key, value)); err != nil {
+			return err
+		}
+		rep.ResyncOps++
+		return nil
 	})
+	if err != nil {
+		return rep, err
+	}
+	r.dirty = make(map[string]struct{})
+	return rep, nil
 }
 
 // Execute serves one frame: on the extension when the circuit admits it,
@@ -113,24 +180,35 @@ func (r *Supervised) Execute(cpu int, frame []byte) (reply []byte, extNs float64
 	binary.LittleEndian.PutUint32(r.ctx[0:], uint32(len(frame)))
 	res, err := r.sup.Run(cpu, &r.pkt, r.ctx)
 	if err != nil || res.Ret != Served {
+		// Open circuit, probe quota, or cancelled run: the store serves
+		// the request. A SET acknowledged here is invisible to the stale
+		// heap, so its key joins the dirty set for the next warm resync.
 		r.Fallbacks++
-		r.reply = r.db.Handle(frame, r.reply)
+		if args, perr := ParseCommand(frame); perr == nil && len(args) >= 3 && string(args[0]) == "SET" {
+			r.dirty[string(args[1])] = struct{}{}
+		}
+		r.reply = HandleRESP(r.db, frame, r.reply)
 		return r.reply, 0, false
 	}
 	if args, perr := ParseCommand(frame); perr == nil && len(args) >= 3 && string(args[0]) == "SET" {
-		// Write-through: KeyDB mirrors every offloaded SET so a reloaded
-		// generation can be resynced from it.
-		r.db.set(args[1], args[2])
-	} else if perr == nil && len(args) >= 2 && string(args[0]) == "GET" &&
-		bytes.Equal(r.pkt.Reply, respNil) {
-		// The entry may have landed while the circuit was open; KeyDB is
-		// authoritative for acknowledged SETs.
-		if v := r.db.Get(args[1]); v != nil {
-			r.Fallbacks++
-			r.reply = append(r.reply[:0], fmt.Sprintf("$%d\r\n", len(v))...)
-			r.reply = append(r.reply, v...)
-			r.reply = append(r.reply, '\r', '\n')
-			return r.reply, 0, false
+		// Write-through: the store mirrors every offloaded SET so a
+		// reloaded generation can be resynced from it; the heap now holds
+		// the same value, so the key is no longer dirty.
+		r.db.Set(args[1], args[2])
+		delete(r.dirty, string(args[1]))
+	} else if perr == nil && len(args) >= 2 && string(args[0]) == "GET" {
+		_, stale := r.dirty[string(args[1])]
+		if stale || bytes.Equal(r.pkt.Reply, respNil) {
+			// Dirty key (heap copy stale) or extension miss (the entry
+			// may have landed while the circuit was open): the store is
+			// authoritative for acknowledged SETs.
+			if v := r.db.Get(args[1]); v != nil {
+				r.Fallbacks++
+				r.reply = append(r.reply[:0], fmt.Sprintf("$%d\r\n", len(v))...)
+				r.reply = append(r.reply, v...)
+				r.reply = append(r.reply, '\r', '\n')
+				return r.reply, 0, false
+			}
 		}
 	}
 	r.Offloaded++
@@ -153,8 +231,9 @@ func (r *Supervised) Name() string { return "KFlex supervised" }
 // Supervisor exposes the lifecycle supervisor (state, trace, audits).
 func (r *Supervised) Supervisor() *supervisor.Supervisor { return r.sup }
 
-// DB exposes the durable KeyDB store.
-func (r *Supervised) DB() *KeyDB { return r.db }
+// DB exposes the authoritative user-space store (*KeyDB by default, the
+// WAL-backed durable store when Config.Durable is set).
+func (r *Supervised) DB() KV { return r.db }
 
 // Close retires the live generation.
 func (r *Supervised) Close() { r.sup.Close() }

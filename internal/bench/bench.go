@@ -64,7 +64,7 @@ func (o Options) dsOps() int {
 var Experiments = []string{
 	"tab1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab3",
 	"abl-elision", "abl-probe", "abl-perfmode", "abl-xlat", "pipeline",
-	"scale",
+	"scale", "recovery",
 }
 
 // Run executes the experiment named id.
@@ -98,6 +98,8 @@ func Run(id string, o Options) error {
 		return RunPipeline(o)
 	case "scale":
 		return RunScale(o)
+	case "recovery":
+		return RunRecovery(o)
 	}
 	return fmt.Errorf("bench: unknown experiment %q (have %v)", id, Experiments)
 }

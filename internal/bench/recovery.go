@@ -1,0 +1,358 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"kflex/internal/apps/memcached"
+	"kflex/internal/durable"
+	"kflex/internal/durable/replica"
+	"kflex/internal/supervisor"
+	"kflex/internal/workload"
+)
+
+// The recovery experiment quantifies the durability layer's three
+// contracts:
+//
+//  1. Reload latency is O(delta), not O(store): a warm reload adopts the
+//     quarantined generation's heap and replays only the keys written on
+//     the fallback path, so its resync cost scales with the delta while a
+//     cold reload re-pushes the entire store every time.
+//  2. Crash-recovery replay is bounded by snapshot coverage: recovery
+//     loads the newest snapshot and replays only the log suffix past it,
+//     so replayed records shrink linearly as coverage grows.
+//  3. Failover is the cost of promoting an already-tailing follower, not
+//     of rebuilding a store: the follower's final catch-up plus promotion
+//     plus standing up a serving deployment on the promoted store.
+
+// RecoveryReloadLevel is one delta-size measurement of the reload sweep.
+type RecoveryReloadLevel struct {
+	Delta int `json:"delta"`
+	// Warm reload: heap adopted, dirty set replayed.
+	WarmReloadNs  int64 `json:"warm_reload_ns"`
+	WarmResyncOps int   `json:"warm_resync_ops"`
+	// Cold reload: fresh heap, full store re-pushed.
+	ColdReloadNs  int64 `json:"cold_reload_ns"`
+	ColdResyncOps int   `json:"cold_resync_ops"`
+}
+
+// RecoveryReplayLevel is one snapshot-coverage measurement.
+type RecoveryReplayLevel struct {
+	// Coverage is the fraction of the history captured by the last
+	// snapshot before the crash.
+	Coverage float64 `json:"coverage"`
+	Records  uint64  `json:"records"`
+	// Replayed is the log suffix recovery actually replayed.
+	Replayed       uint64  `json:"replayed"`
+	SnapshotLoaded bool    `json:"snapshot_loaded"`
+	OpenNs         int64   `json:"open_ns"`
+	ReplayPerSec   float64 `json:"replay_per_sec"`
+}
+
+// RecoveryFailover is the failover-time measurement.
+type RecoveryFailover struct {
+	// ReplicatedSeq is the primary history length the follower had shipped
+	// before the primary died.
+	ReplicatedSeq uint64 `json:"replicated_seq"`
+	// PromoteNs is Promote plus the final consistency check.
+	PromoteNs int64 `json:"promote_ns"`
+	// ServeNs is PromoteNs plus standing up a supervised deployment on the
+	// promoted store and serving its first request.
+	ServeNs int64 `json:"serve_ns"`
+}
+
+// RecoveryReport is the full BENCH_recovery.json document.
+type RecoveryReport struct {
+	Quick bool `json:"quick"`
+	// StoreKeys is the store size the reload sweep runs against.
+	StoreKeys int                   `json:"store_keys"`
+	Reload    []RecoveryReloadLevel `json:"reload"`
+	Replay    []RecoveryReplayLevel `json:"replay"`
+	Failover  RecoveryFailover      `json:"failover"`
+}
+
+func (o Options) recoveryKeys() int {
+	if o.Quick {
+		return 512
+	}
+	return 4096
+}
+
+func (o Options) recoveryRecords() int {
+	if o.Quick {
+		return 4_000
+	}
+	return 40_000
+}
+
+// recoveryDeltas is the reload sweep's x-axis.
+var recoveryDeltas = []int{1, 16, 128, 1024}
+
+// recoveryReps: each (mode, delta) level reports the fastest of this many
+// quarantine/reload cycles, suppressing GC and scheduler noise.
+const recoveryReps = 3
+
+// benchClock reports real time shifted by a controllable offset: the
+// sweep advances the offset past the backoff deadline instead of
+// sleeping, so quarantine windows have no real-time deadline racing the
+// delta writes, while durations measured against the clock (the
+// supervisor's LastRecovery) remain real elapsed time.
+type benchClock struct{ offset time.Duration }
+
+func (c *benchClock) Now() time.Time { return time.Now().Add(c.offset) }
+
+// recoveryBackoff is the sweep's quarantine backoff — far beyond any real
+// time one cycle takes, crossed only by advancing the bench clock.
+const recoveryBackoff = time.Hour
+
+// recoveryCycle quarantines the deployment, writes delta keys on the
+// fallback path, and times the reload the next request triggers.
+func recoveryCycle(mc *memcached.Supervised, clk *benchClock, vsz, delta, cycle int) (time.Duration, int, error) {
+	sup := mc.Supervisor()
+	if !sup.Quarantine("bench cycle") {
+		return 0, 0, fmt.Errorf("recovery: quarantine refused in state %v", sup.State())
+	}
+	for i := 0; i < delta; i++ {
+		key := workload.FormatKey(uint64(i+1), memcached.KeySize)
+		val := workload.FormatValue(uint64(i+1)*uint64(cycle+2), vsz)
+		if reply, _, _ := mc.Execute(0, memcached.EncodeSet(key, val)); len(reply) != 1 || reply[0] != 'S' {
+			return 0, 0, fmt.Errorf("recovery: fallback SET %d: %q", i, reply)
+		}
+	}
+	// Cross the backoff deadline: the next request performs the reload;
+	// the supervisor times load+init with the bench clock.
+	clk.offset += 2 * recoveryBackoff
+	frame := memcached.EncodeGet(workload.FormatKey(1, memcached.KeySize))
+	if reply, _, _ := mc.Execute(0, frame); len(reply) < 1 || reply[0] != 'V' {
+		return 0, 0, fmt.Errorf("recovery: post-reload GET: %q", reply)
+	}
+	st := sup.Stats()
+	return st.LastRecovery, st.LastInit.ResyncOps, nil
+}
+
+// recoveryDeployment builds a supervised deployment with keys preloaded
+// through the serving path and a 1-probe circuit so a single request
+// closes it after each reload.
+func recoveryDeployment(keys int, cold bool) (*memcached.Supervised, *benchClock, error) {
+	cfg := memcached.DefaultConfig(workload.Mix{GetPct: 50})
+	cfg.Preload = false
+	cfg.ColdReload = cold
+	clk := &benchClock{}
+	mc, err := memcached.NewSupervised(cfg, 1, supervisor.Tuning{
+		BackoffBase: recoveryBackoff,
+		BackoffMax:  recoveryBackoff,
+		ProbeRuns:   1,
+		Now:         clk.Now,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < keys; i++ {
+		key := workload.FormatKey(uint64(i+1), memcached.KeySize)
+		val := workload.FormatValue(uint64(i+1), cfg.ValueSize)
+		if reply, _, _ := mc.Execute(0, memcached.EncodeSet(key, val)); len(reply) != 1 || reply[0] != 'S' {
+			mc.Close()
+			return nil, nil, fmt.Errorf("recovery: preload SET %d: %q", i, reply)
+		}
+	}
+	return mc, clk, nil
+}
+
+// recoveryReloadSweep measures warm vs cold reload latency across delta
+// sizes on a store of `keys` entries.
+func recoveryReloadSweep(keys, vsz int) ([]RecoveryReloadLevel, error) {
+	warm, warmClk, err := recoveryDeployment(keys, false)
+	if err != nil {
+		return nil, err
+	}
+	defer warm.Close()
+	cold, coldClk, err := recoveryDeployment(keys, true)
+	if err != nil {
+		return nil, err
+	}
+	defer cold.Close()
+
+	// best runs recoveryReps cycles and keeps the fastest reload.
+	best := func(mc *memcached.Supervised, clk *benchClock, delta, cycle int) (time.Duration, int, error) {
+		var minD time.Duration
+		var minOps int
+		for rep := 0; rep < recoveryReps; rep++ {
+			d, ops, err := recoveryCycle(mc, clk, vsz, delta, cycle*recoveryReps+rep)
+			if err != nil {
+				return 0, 0, err
+			}
+			if rep == 0 || d < minD {
+				minD, minOps = d, ops
+			}
+		}
+		return minD, minOps, nil
+	}
+
+	var out []RecoveryReloadLevel
+	for cycle, delta := range recoveryDeltas {
+		if delta > keys {
+			delta = keys
+		}
+		lvl := RecoveryReloadLevel{Delta: delta}
+		d, ops, err := best(warm, warmClk, delta, cycle)
+		if err != nil {
+			return nil, fmt.Errorf("warm delta %d: %w", delta, err)
+		}
+		lvl.WarmReloadNs, lvl.WarmResyncOps = d.Nanoseconds(), ops
+		d, ops, err = best(cold, coldClk, delta, cycle)
+		if err != nil {
+			return nil, fmt.Errorf("cold delta %d: %w", delta, err)
+		}
+		lvl.ColdReloadNs, lvl.ColdResyncOps = d.Nanoseconds(), ops
+		out = append(out, lvl)
+	}
+	return out, nil
+}
+
+// recoveryReplaySweep measures crash-recovery replay cost as a function of
+// snapshot coverage: the same history, snapshotted at different points.
+func recoveryReplaySweep(records int) ([]RecoveryReplayLevel, error) {
+	coverages := []float64{0, 0.5, 0.9, 1.0}
+	var out []RecoveryReplayLevel
+	for _, cov := range coverages {
+		dir := durable.NewMemDir(nil)
+		st, _, err := durable.Open(dir, durable.Options{})
+		if err != nil {
+			return nil, err
+		}
+		snapAt := int(float64(records) * cov)
+		for i := 0; i < records; i++ {
+			key := workload.FormatKey(uint64(i%1024+1), memcached.KeySize)
+			st.Set(key, workload.FormatValue(uint64(i), memcached.ValueSize))
+			if i+1 == snapAt {
+				if err := st.Snapshot(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		st.Close()
+		t0 := time.Now()
+		re, info, err := durable.Open(dir, durable.Options{})
+		if err != nil {
+			return nil, err
+		}
+		openNs := time.Since(t0).Nanoseconds()
+		re.Close()
+		lvl := RecoveryReplayLevel{
+			Coverage:       cov,
+			Records:        uint64(records),
+			Replayed:       info.Replayed,
+			SnapshotLoaded: info.SnapshotLoaded != "",
+			OpenNs:         openNs,
+		}
+		if openNs > 0 {
+			lvl.ReplayPerSec = float64(info.Replayed) / (float64(openNs) / 1e9)
+		}
+		out = append(out, lvl)
+	}
+	return out, nil
+}
+
+// recoveryFailover measures promoting a tailing follower and serving from
+// the promoted store.
+func recoveryFailover(records int) (RecoveryFailover, error) {
+	primary, _, err := durable.Open(durable.NewMemDir(nil), durable.Options{})
+	if err != nil {
+		return RecoveryFailover{}, err
+	}
+	defer primary.Close()
+	local, _, err := durable.Open(durable.NewMemDir(nil), durable.Options{})
+	if err != nil {
+		return RecoveryFailover{}, err
+	}
+	f := replica.NewFollower(primary, local)
+	for i := 0; i < records; i++ {
+		key := workload.FormatKey(uint64(i%1024+1), memcached.KeySize)
+		primary.Set(key, workload.FormatValue(uint64(i), memcached.ValueSize))
+		if i%64 == 63 {
+			if _, err := f.CatchUp(); err != nil {
+				return RecoveryFailover{}, err
+			}
+		}
+	}
+	if _, err := f.CatchUp(); err != nil {
+		return RecoveryFailover{}, err
+	}
+
+	// Primary dies here. Failover: promote, then stand up a deployment.
+	t0 := time.Now()
+	promoted := f.Promote()
+	promoteNs := time.Since(t0).Nanoseconds()
+	cfg := memcached.DefaultConfig(workload.Mix{GetPct: 50})
+	cfg.Preload = false
+	cfg.Durable = promoted
+	mc, err := memcached.NewSupervised(cfg, 1, supervisor.Tuning{})
+	if err != nil {
+		return RecoveryFailover{}, err
+	}
+	defer mc.Close()
+	frame := memcached.EncodeGet(workload.FormatKey(1, memcached.KeySize))
+	if reply, _, _ := mc.Execute(0, frame); len(reply) < 1 || reply[0] != 'V' {
+		return RecoveryFailover{}, fmt.Errorf("recovery: failover GET: %q", reply)
+	}
+	return RecoveryFailover{
+		ReplicatedSeq: promoted.Seq(),
+		PromoteNs:     promoteNs,
+		ServeNs:       time.Since(t0).Nanoseconds(),
+	}, nil
+}
+
+// Recovery runs the recovery experiment and returns the report.
+func Recovery(o Options) (*RecoveryReport, error) {
+	rep := &RecoveryReport{Quick: o.Quick, StoreKeys: o.recoveryKeys()}
+	var err error
+	if rep.Reload, err = recoveryReloadSweep(o.recoveryKeys(), memcached.ValueSize); err != nil {
+		return nil, fmt.Errorf("recovery: reload sweep: %w", err)
+	}
+	if rep.Replay, err = recoveryReplaySweep(o.recoveryRecords()); err != nil {
+		return nil, fmt.Errorf("recovery: replay sweep: %w", err)
+	}
+	if rep.Failover, err = recoveryFailover(o.recoveryRecords() / 4); err != nil {
+		return nil, fmt.Errorf("recovery: failover: %w", err)
+	}
+	return rep, nil
+}
+
+// RunRecovery executes the experiment, prints the human-readable summary,
+// and writes BENCH_recovery.json when Options.JSONPath is set.
+func RunRecovery(o Options) error {
+	rep, err := Recovery(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "Recovery: durable supervised store (%d keys)\n\n", rep.StoreKeys)
+	fmt.Fprintf(o.Out, "reload latency vs delta (warm adopts heap, cold re-pushes the store):\n")
+	fmt.Fprintf(o.Out, "%8s %14s %12s %14s %12s\n", "delta", "warm (µs)", "warm ops", "cold (µs)", "cold ops")
+	for _, l := range rep.Reload {
+		fmt.Fprintf(o.Out, "%8d %14.1f %12d %14.1f %12d\n",
+			l.Delta, float64(l.WarmReloadNs)/1e3, l.WarmResyncOps,
+			float64(l.ColdReloadNs)/1e3, l.ColdResyncOps)
+	}
+	fmt.Fprintf(o.Out, "\ncrash-recovery replay vs snapshot coverage (%d records):\n", rep.Replay[0].Records)
+	fmt.Fprintf(o.Out, "%10s %10s %10s %12s %16s\n", "coverage", "snapshot", "replayed", "open (µs)", "replay/sec")
+	for _, l := range rep.Replay {
+		fmt.Fprintf(o.Out, "%9.0f%% %10v %10d %12.1f %16.0f\n",
+			l.Coverage*100, l.SnapshotLoaded, l.Replayed, float64(l.OpenNs)/1e3, l.ReplayPerSec)
+	}
+	fmt.Fprintf(o.Out, "\nfailover: %d replicated records, promote %.1fµs, serving %.1fµs\n",
+		rep.Failover.ReplicatedSeq, float64(rep.Failover.PromoteNs)/1e3,
+		float64(rep.Failover.ServeNs)/1e3)
+	if o.JSONPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.JSONPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "\nwrote %s\n", o.JSONPath)
+	}
+	return nil
+}

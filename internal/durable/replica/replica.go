@@ -1,0 +1,109 @@
+// Package replica adds primary→follower replication on top of the
+// durable store: a follower tails the primary's log by shipping encoded
+// WAL records and applying them — CRC-verified, in strict sequence order —
+// into its own durable store. When the primary dies, the follower is
+// promoted and the service continues from the replicated prefix.
+//
+// The protocol is deliberately minimal and deterministic: records are the
+// same checksummed bytes the primary wrote to its own log, so the
+// follower's verification reuses the WAL codec, and two runs with the
+// same seed converge to bit-identical stores — the property the failover
+// chaos suite asserts.
+package replica
+
+import (
+	"fmt"
+
+	"kflex/internal/durable"
+)
+
+// Metrics counts a follower's replication activity.
+type Metrics struct {
+	// Shipped is the number of records applied via log shipping.
+	Shipped uint64
+	// FullSyncs counts full-copy bootstraps (initial sync, or the
+	// follower fell behind the primary's in-memory tail).
+	FullSyncs uint64
+	// Rejected counts replication failures the follower detected — a
+	// shipped record failing CRC or sequence verification, or the
+	// anti-entropy digest exposing a diverged replica. Each one forces a
+	// full sync.
+	Rejected uint64
+}
+
+// Follower tails a primary durable store into a local one. Not safe for
+// concurrent use with itself; the stores do their own locking.
+type Follower struct {
+	primary  *durable.Store
+	local    *durable.Store
+	promoted bool
+	metrics  Metrics
+}
+
+// NewFollower attaches a follower to primary, replicating into local
+// (typically durable.Open over the follower's own device).
+func NewFollower(primary, local *durable.Store) *Follower {
+	return &Follower{primary: primary, local: local}
+}
+
+// Local returns the follower's store (the one promotion hands out).
+func (f *Follower) Local() *durable.Store { return f.local }
+
+// Metrics returns a copy of the replication counters.
+func (f *Follower) Metrics() Metrics { return f.metrics }
+
+// CatchUp replicates everything the primary has acknowledged since the
+// follower's current sequence. It ships encoded records from the
+// primary's tail when the follower is close enough, and falls back to a
+// full copy when it is not (or when a shipped record fails verification).
+// It returns the number of records shipped.
+func (f *Follower) CatchUp() (int, error) {
+	if f.promoted {
+		return 0, fmt.Errorf("replica: follower already promoted")
+	}
+	recs, ok := f.primary.RecordsSince(f.local.Seq())
+	if !ok {
+		// Too far behind: the tail no longer reaches back to our
+		// position. Take a full copy at the primary's current sequence.
+		f.metrics.FullSyncs++
+		return 0, f.local.CopyFrom(f.primary)
+	}
+	for i, enc := range recs {
+		if err := f.local.ApplyReplicated(enc); err != nil {
+			// A frame the local store rejects (CRC, gap) poisons the
+			// incremental path; recover by full copy rather than serving
+			// a diverged replica.
+			f.metrics.Rejected++
+			f.metrics.FullSyncs++
+			if cerr := f.local.CopyFrom(f.primary); cerr != nil {
+				return i, fmt.Errorf("replica: %w; full sync also failed: %v", err, cerr)
+			}
+			return i, nil
+		}
+		f.metrics.Shipped++
+	}
+	// Anti-entropy: sequence alignment alone cannot expose a replica that
+	// diverged without breaking the chain (e.g. a rogue local write keeps
+	// seq in lockstep while contents differ). When the follower claims
+	// the primary's exact sequence, the content digests must match too;
+	// if they do not, the replica is poisoned — recover by full copy.
+	// Under concurrent primary writes the sequences simply differ and the
+	// check waits for a later, aligned catch-up: divergence detection is
+	// eventual, never wrong.
+	if f.local.Seq() == f.primary.Seq() && f.local.Hash() != f.primary.Hash() {
+		f.metrics.Rejected++
+		f.metrics.FullSyncs++
+		if err := f.local.CopyFrom(f.primary); err != nil {
+			return len(recs), fmt.Errorf("replica: diverged and full sync failed: %w", err)
+		}
+	}
+	return len(recs), nil
+}
+
+// Promote ends replication and returns the local store as the new
+// authoritative primary. The follower serves exactly the replicated
+// prefix it has verified — no invented state, no partial records.
+func (f *Follower) Promote() *durable.Store {
+	f.promoted = true
+	return f.local
+}

@@ -1,0 +1,154 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot wire format, little-endian:
+//
+//	magic  8 bytes "KFSNAPS1"
+//	seq    u64    store sequence the snapshot covers
+//	count  u64    number of key/value pairs
+//	pairs  count × { klen u32, vlen u32, key, value }   (sorted by key)
+//	crc    u32    Castagnoli CRC over everything before it
+//
+// The write protocol is the classic atomic-publish dance: write to a temp
+// name, fsync the file, rename to snap-<seq>.snap, fsync the directory.
+// A crash at any point leaves either the previous snapshot set intact or
+// the new snapshot fully published; recovery validates the whole-file CRC
+// and falls back to the next-older snapshot (and a longer log replay)
+// when the newest is corrupt.
+const snapMagic = "KFSNAPS1"
+
+func snapName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix)
+}
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	var seq uint64
+	_, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), "%016x", &seq)
+	return seq, err == nil
+}
+
+// writeSnapshot publishes a snapshot of kv at seq and returns its name.
+func writeSnapshot(dir Dir, seq uint64, kv map[string][]byte) (string, error) {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	buf := make([]byte, 0, 24+len(kv)*32)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(keys)))
+	for _, k := range keys {
+		v := kv[k]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, k...)
+		buf = append(buf, v...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+
+	f, err := dir.Create(snapTmp)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Append(buf); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", err
+	}
+	f.Close()
+	name := snapName(seq)
+	if err := dir.Rename(snapTmp, name); err != nil {
+		return "", err
+	}
+	if err := dir.SyncDir(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// readSnapshot loads and CRC-verifies one snapshot file.
+func readSnapshot(dir Dir, name string) (seq uint64, kv map[string][]byte, err error) {
+	f, err := dir.Open(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return 0, nil, err
+	}
+	if size < int64(len(snapMagic))+8+8+4 {
+		return 0, nil, fmt.Errorf("durable: snapshot %s truncated (%d bytes)", name, size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return 0, nil, err
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return 0, nil, fmt.Errorf("durable: snapshot %s CRC mismatch", name)
+	}
+	if string(body[:len(snapMagic)]) != snapMagic {
+		return 0, nil, fmt.Errorf("durable: snapshot %s bad magic", name)
+	}
+	seq = binary.LittleEndian.Uint64(body[8:])
+	count := binary.LittleEndian.Uint64(body[16:])
+	kv = make(map[string][]byte, count)
+	off := uint64(24)
+	for i := uint64(0); i < count; i++ {
+		if off+8 > uint64(len(body)) {
+			return 0, nil, fmt.Errorf("durable: snapshot %s pair header truncated", name)
+		}
+		klen := binary.LittleEndian.Uint32(body[off:])
+		vlen := binary.LittleEndian.Uint32(body[off+4:])
+		off += 8
+		if klen > maxKeyLen || vlen > maxValueLen || off+uint64(klen)+uint64(vlen) > uint64(len(body)) {
+			return 0, nil, fmt.Errorf("durable: snapshot %s pair out of bounds", name)
+		}
+		key := body[off : off+uint64(klen)]
+		val := body[off+uint64(klen) : off+uint64(klen)+uint64(vlen)]
+		kv[string(key)] = append([]byte(nil), val...)
+		off += uint64(klen) + uint64(vlen)
+	}
+	return seq, kv, nil
+}
+
+// listSnapshots returns snapshot files newest-first.
+func listSnapshots(dir Dir) ([]string, error) {
+	names, err := dir.List()
+	if err != nil {
+		return nil, err
+	}
+	type snap struct {
+		name string
+		seq  uint64
+	}
+	var snaps []snap
+	for _, name := range names {
+		if seq, ok := parseSnapName(name); ok {
+			snaps = append(snaps, snap{name, seq})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
+	out := make([]string, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.name
+	}
+	return out, nil
+}

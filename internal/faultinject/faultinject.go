@@ -61,6 +61,32 @@ const (
 	// regardless of its elapsed quantum (§4.3).
 	WatchdogFire
 
+	// The Store* kinds treat the durable storage layer behind the
+	// supervised app stores (internal/durable) as a fault domain of its
+	// own — SafeBPF's defense-in-depth framing: the WAL and snapshot
+	// engine must recover crash-consistently even when the device lies.
+
+	// StoreWrite fails a WAL/snapshot append outright: no bytes reach the
+	// device and the write returns ErrInjected. The fire key is the
+	// length of the attempted write.
+	StoreWrite
+	// StoreShort persists only a prefix of a write and then reports
+	// ErrInjected — the classic short write. The fire key is the length
+	// of the attempted write.
+	StoreShort
+	// StoreSync fails an fsync: buffered bytes stay volatile and are lost
+	// on crash. The fire key is an opaque per-file identifier.
+	StoreSync
+	// StoreCorrupt silently flips a byte of a write as it lands on the
+	// device (latent sector corruption); the write itself reports
+	// success. The fire key is the length of the write.
+	StoreCorrupt
+	// StoreTorn decides, at crash time, that the unsynced tail of a file
+	// is torn: a prefix of the buffered bytes survives the crash instead
+	// of none or all of them. The fire key is an opaque per-file
+	// identifier.
+	StoreTorn
+
 	numKinds
 )
 
@@ -83,6 +109,16 @@ func (k Kind) String() string {
 		return "lock-timeout"
 	case WatchdogFire:
 		return "watchdog-fire"
+	case StoreWrite:
+		return "store-write"
+	case StoreShort:
+		return "store-short"
+	case StoreSync:
+		return "store-sync"
+	case StoreCorrupt:
+		return "store-corrupt"
+	case StoreTorn:
+		return "store-torn"
 	}
 	return "none"
 }

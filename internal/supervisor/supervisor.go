@@ -44,6 +44,8 @@ import (
 	"time"
 
 	"kflex"
+	"kflex/internal/alloc"
+	"kflex/internal/heap"
 )
 
 // State is a lifecycle state of a supervised extension.
@@ -155,6 +157,40 @@ type Tuning struct {
 	Now func() time.Time
 }
 
+// Generation hands a freshly loaded extension instance to the Init
+// callback.
+type Generation struct {
+	Ext     *kflex.Extension
+	Handles []*kflex.Handle
+	// Gen is the generation number Init is initialising.
+	Gen uint64
+	// Warm reports that this generation adopted the previous generation's
+	// heap (Config.WarmReload and a clean quarantine audit): the data the
+	// old generation accumulated is already in place, so Init should
+	// replay only the delta its store tracked as dirty — not re-push
+	// every key.
+	Warm bool
+}
+
+// InitReport is what one Init run did — recovery work the supervisor
+// accumulates into Stats, so tests and benchmarks can assert the O(delta)
+// resync contract instead of trusting it.
+type InitReport struct {
+	// ResyncOps is the number of store entries Init pushed into the
+	// generation's heap.
+	ResyncOps int
+	// ReplayedRecords is the number of WAL records the backing durable
+	// store replayed to reach its recovered state (0 when the store was
+	// already live in memory).
+	ReplayedRecords uint64
+	// SnapshotLoaded reports that the durable store recovered from a
+	// snapshot (plus delta replay) rather than a full log scan.
+	SnapshotLoaded bool
+	// FullResync reports that Init re-pushed the entire store — the cold
+	// path. Warm generations with a tracked dirty set report false.
+	FullResync bool
+}
+
 // Config describes a supervised extension.
 type Config struct {
 	// Runtime loads each generation of the extension.
@@ -170,10 +206,44 @@ type Config struct {
 	// Init re-initialises a freshly loaded generation (e.g. replaying a
 	// durable store into the new heap) before it takes traffic. An Init
 	// failure counts as a failed probe: the generation is discarded and
-	// the quarantine moves to the next backoff tier.
-	Init func(ext *kflex.Extension, handles []*kflex.Handle) error
+	// the quarantine moves to the next backoff tier (a warm generation
+	// first falls back to a cold load, since adopted state is the prime
+	// suspect).
+	Init func(g Generation) (InitReport, error)
+	// WarmReload keeps the quarantined generation's heap and allocator
+	// alive when its teardown audit comes back clean, and hands them to
+	// the next generation via Spec.AdoptHeap (see Generation.Warm). A
+	// dirty audit always falls back to a cold load — a heap that failed
+	// its consistency audit is exactly the state a reload exists to shed.
+	//
+	// Off by default: adoption requires that no in-flight Run of the old
+	// generation can still touch the heap once the new generation takes
+	// traffic. Single-driver callers (one goroutine per cpu slot, like
+	// the supervised app stores) satisfy this; arbitrary concurrent
+	// callers may not.
+	WarmReload bool
 	// Tuning sets circuit-breaker parameters.
 	Tuning Tuning
+}
+
+// Stats are cumulative lifecycle counters, exposed by Supervisor.Stats.
+type Stats struct {
+	// Reloads counts successful reloads; ReloadFailures counts reload
+	// attempts whose load or init failed; Quarantines counts entries into
+	// Quarantined.
+	Reloads, ReloadFailures, Quarantines uint64
+	// WarmReloads counts reloads that adopted the previous heap.
+	WarmReloads uint64
+	// ResyncOps, ReplayedRecords, and SnapshotLoads accumulate the
+	// InitReports of every generation.
+	ResyncOps       uint64
+	ReplayedRecords uint64
+	SnapshotLoads   uint64
+	// LastInit is the most recent generation's InitReport verbatim.
+	LastInit InitReport
+	// LastRecovery is the duration of the most recent successful reload
+	// (load + init), measured with Tuning.Now.
+	LastRecovery time.Duration
 }
 
 // Supervisor wraps one extension with the lifecycle state machine. All
@@ -195,7 +265,13 @@ type Supervisor struct {
 	rng            *rand.Rand
 	trace          []Transition
 	audits         []AuditReport
-	reloads        uint64
+	stats          Stats
+
+	// warmHeap/warmAlloc are the previous generation's heap and
+	// allocator, retained across a clean-audit quarantine for adoption by
+	// the next generation (Config.WarmReload).
+	warmHeap  *heap.Heap
+	warmAlloc *alloc.Allocator
 }
 
 // New loads the extension and starts it Healthy. The Init callback runs
@@ -234,7 +310,7 @@ func New(cfg Config) (*Supervisor, error) {
 		state: Healthy,
 		rng:   rand.New(rand.NewSource(cfg.Tuning.JitterSeed)),
 	}
-	ext, handles, err := s.loadGeneration()
+	ext, handles, err := s.loadGeneration(0)
 	if err != nil {
 		return nil, err
 	}
@@ -242,28 +318,62 @@ func New(cfg Config) (*Supervisor, error) {
 	return s, nil
 }
 
-// loadGeneration loads a fresh extension instance and runs Init. The load
+// loadGeneration loads extension instance nextGen and runs Init. The load
 // goes through Runtime.Load's staged pipeline: with an unchanged spec the
 // verify/instrument/lower artifacts come from the compile cache and only
 // the per-instance state (heap, allocator, link) is rebuilt, so reload
-// latency is the link stage, not a full recompile.
-func (s *Supervisor) loadGeneration() (*kflex.Extension, []*kflex.Handle, error) {
-	ext, err := s.cfg.Runtime.Load(s.cfg.Spec)
-	if err != nil {
-		return nil, nil, fmt.Errorf("supervisor: reload: %w", err)
+// latency is the link stage, not a full recompile. When a warm heap was
+// retained (Config.WarmReload, clean audit), the new generation adopts it
+// and Init replays only the delta; a warm load or init failure closes the
+// adopted heap — the inherited state is the prime suspect — and retries
+// cold before giving up.
+func (s *Supervisor) loadGeneration(nextGen uint64) (*kflex.Extension, []*kflex.Handle, error) {
+	spec := s.cfg.Spec
+	warm := false
+	if s.warmHeap != nil && s.warmAlloc != nil {
+		spec.AdoptHeap, spec.AdoptAlloc = s.warmHeap, s.warmAlloc
+		warm = true
 	}
-	handles := make([]*kflex.Handle, s.cfg.NumCPUs)
-	for cpu := range handles {
-		handles[cpu] = ext.Handle(cpu)
-	}
-	if s.cfg.Init != nil {
-		if err := s.cfg.Init(ext, handles); err != nil {
+	for {
+		ext, err := s.cfg.Runtime.Load(spec)
+		if err != nil {
+			err = fmt.Errorf("supervisor: reload: %w", err)
+		} else {
+			handles := make([]*kflex.Handle, s.cfg.NumCPUs)
+			for cpu := range handles {
+				handles[cpu] = ext.Handle(cpu)
+			}
+			var rep InitReport
+			if s.cfg.Init != nil {
+				rep, err = s.cfg.Init(Generation{Ext: ext, Handles: handles, Gen: nextGen, Warm: warm})
+			}
+			if err == nil {
+				if warm {
+					s.warmHeap, s.warmAlloc = nil, nil
+					s.stats.WarmReloads++
+				}
+				s.stats.LastInit = rep
+				s.stats.ResyncOps += uint64(rep.ResyncOps)
+				s.stats.ReplayedRecords += rep.ReplayedRecords
+				if rep.SnapshotLoaded {
+					s.stats.SnapshotLoads++
+				}
+				return ext, handles, nil
+			}
 			ext.Unload()
-			ext.Close()
-			return nil, nil, fmt.Errorf("supervisor: init: %w", err)
+			ext.Close() // on the warm path this closes the adopted heap too
+			err = fmt.Errorf("supervisor: init: %w", err)
 		}
+		if !warm {
+			return nil, nil, err
+		}
+		if s.warmHeap != nil && !s.warmHeap.Closed() {
+			s.warmHeap.Close()
+		}
+		s.warmHeap, s.warmAlloc = nil, nil
+		spec.AdoptHeap, spec.AdoptAlloc = nil, nil
+		warm = false
 	}
-	return ext, handles, nil
 }
 
 // Run invokes the supervised extension for one event on the given cpu,
@@ -380,12 +490,25 @@ func (s *Supervisor) settleProbe(gen uint64, res kflex.Result, err error) {
 // this records the Degraded→Quarantined edge when coming from Healthy.
 func (s *Supervisor) quarantineLocked(reason string) {
 	s.ext.Unload()
-	s.audits = append(s.audits, s.auditLocked(reason))
-	s.ext.Close() // detach heap pages (§3.2 teardown)
+	audit := s.auditLocked(reason)
+	s.audits = append(s.audits, audit)
+	if s.cfg.WarmReload && audit.Clean {
+		// The teardown audit proved the heap consistent: retain it (and
+		// the allocator that owns its carving) for adoption by the next
+		// generation instead of detaching its pages, so recovery replays
+		// only the delta. A dirty audit never reaches here — a heap that
+		// failed its invariants is exactly what a reload must shed.
+		if h, a := s.ext.CloseKeepHeap(); h != nil && a != nil {
+			s.warmHeap, s.warmAlloc = h, a
+		}
+	} else {
+		s.ext.Close() // detach heap pages (§3.2 teardown)
+	}
 	if s.state == Degraded || s.state == Healthy {
 		s.record(Degraded, Quarantined, reason)
 	}
 	s.state = Quarantined
+	s.stats.Quarantines++
 	s.reloadAt = s.cfg.Tuning.Now().Add(s.backoffLocked())
 	s.tier++
 }
@@ -394,8 +517,10 @@ func (s *Supervisor) quarantineLocked(reason string) {
 // initialised; success half-opens the circuit, failure re-quarantines at
 // the next backoff tier.
 func (s *Supervisor) reloadLocked() {
-	ext, handles, err := s.loadGeneration()
+	start := s.cfg.Tuning.Now()
+	ext, handles, err := s.loadGeneration(s.gen + 1)
 	if err != nil {
+		s.stats.ReloadFailures++
 		s.record(Quarantined, Quarantined, "reload failed")
 		s.reloadAt = s.cfg.Tuning.Now().Add(s.backoffLocked())
 		s.tier++
@@ -403,7 +528,8 @@ func (s *Supervisor) reloadLocked() {
 	}
 	s.ext, s.handles = ext, handles
 	s.gen++
-	s.reloads++
+	s.stats.Reloads++
+	s.stats.LastRecovery = s.cfg.Tuning.Now().Sub(start)
 	s.probeLeft = s.cfg.Tuning.ProbeRuns
 	s.probesInFlight = 0
 	s.record(Quarantined, Probing, "reloaded")
@@ -483,7 +609,30 @@ func (s *Supervisor) Gen() uint64 {
 func (s *Supervisor) Reloads() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.reloads
+	return s.stats.Reloads
+}
+
+// Stats returns a copy of the cumulative lifecycle counters.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Quarantine manually retires the live generation — the operator's (and
+// the recovery benchmark's) way to force a full audit/teardown/reload
+// cycle without waiting for organic degradation. It reports whether the
+// extension was Healthy and is now Quarantined; in any other state it
+// does nothing.
+func (s *Supervisor) Quarantine(reason string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != Healthy {
+		return false
+	}
+	s.record(Healthy, Degraded, reason)
+	s.quarantineLocked(reason)
+	return true
 }
 
 // Trace returns a copy of the recorded transition trace.

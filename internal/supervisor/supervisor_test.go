@@ -67,9 +67,9 @@ func TestHealthyRun(t *testing.T) {
 	sup, err := supervisor.New(supervisor.Config{
 		Runtime: kflex.NewRuntime(),
 		Spec:    trivialSpec(),
-		Init: func(ext *kflex.Extension, handles []*kflex.Handle) error {
+		Init: func(g supervisor.Generation) (supervisor.InitReport, error) {
 			inits++
-			return nil
+			return supervisor.InitReport{ResyncOps: 5}, nil
 		},
 	})
 	if err != nil {
@@ -89,14 +89,24 @@ func TestHealthyRun(t *testing.T) {
 	if sup.Gen() != 0 || sup.Reloads() != 0 || len(sup.Trace()) != 0 {
 		t.Fatalf("fresh supervisor gen=%d reloads=%d trace=%d", sup.Gen(), sup.Reloads(), len(sup.Trace()))
 	}
+	st := sup.Stats()
+	if st.Reloads != 0 || st.Quarantines != 0 || st.WarmReloads != 0 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+	if st.LastInit.ResyncOps != 5 {
+		t.Fatalf("LastInit not recorded: %+v", st.LastInit)
+	}
+	if st.ResyncOps != 5 {
+		t.Fatalf("ResyncOps = %d, want 5 (accumulated from gen 0's InitReport)", st.ResyncOps)
+	}
 }
 
 func TestInitErrorPropagates(t *testing.T) {
 	_, err := supervisor.New(supervisor.Config{
 		Runtime: kflex.NewRuntime(),
 		Spec:    trivialSpec(),
-		Init: func(ext *kflex.Extension, handles []*kflex.Handle) error {
-			return fmt.Errorf("resync exploded")
+		Init: func(g supervisor.Generation) (supervisor.InitReport, error) {
+			return supervisor.InitReport{}, fmt.Errorf("resync exploded")
 		},
 	})
 	if err == nil {
@@ -117,9 +127,9 @@ func TestReloadCompileCache(t *testing.T) {
 	sup, err := supervisor.New(supervisor.Config{
 		Runtime: rt,
 		Spec:    spinningSpec(),
-		Init: func(ext *kflex.Extension, handles []*kflex.Handle) error {
+		Init: func(g supervisor.Generation) (supervisor.InitReport, error) {
 			inits++
-			return nil
+			return supervisor.InitReport{}, nil
 		},
 		Tuning: supervisor.Tuning{
 			BackoffBase: time.Millisecond,
@@ -265,5 +275,99 @@ func TestRequarantineOnProbeFailure(t *testing.T) {
 	}
 	if audits := sup.Audits(); len(audits) != 3 {
 		t.Fatalf("audit reports = %d, want 3 (initial + 2 probe failures)", len(audits))
+	}
+}
+
+// TestWarmReloadAdoptsHeap forces a quarantine with a clean audit and
+// checks the next generation adopts the previous heap: the Init callback
+// sees Warm=true, the heap object is pointer-identical across the reload,
+// and the stats record the warm reload and accumulate InitReports.
+func TestWarmReloadAdoptsHeap(t *testing.T) {
+	clk := &clock{now: time.Unix(0, 0)}
+	var warms []bool
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime:    kflex.NewRuntime(),
+		Spec:       trivialSpec(),
+		WarmReload: true,
+		Init: func(g supervisor.Generation) (supervisor.InitReport, error) {
+			warms = append(warms, g.Warm)
+			if g.Warm {
+				return supervisor.InitReport{ResyncOps: 3}, nil
+			}
+			return supervisor.InitReport{ResyncOps: 10, FullResync: true}, nil
+		},
+		Tuning: supervisor.Tuning{
+			BackoffBase: time.Millisecond,
+			BackoffMax:  4 * time.Millisecond,
+			Now:         clk.Now,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+	h0 := sup.Extension().Heap()
+
+	if !sup.Quarantine("maintenance") {
+		t.Fatal("Quarantine on a healthy supervisor returned false")
+	}
+	if sup.Quarantine("again") {
+		t.Fatal("Quarantine on a quarantined supervisor returned true")
+	}
+	if audits := sup.Audits(); len(audits) != 1 || !audits[0].Clean {
+		t.Fatalf("audits = %+v, want one clean report", audits)
+	}
+
+	clk.Advance(5 * time.Millisecond)
+	ctx := make([]byte, kflex.HookXDP.CtxSize)
+	if _, err := sup.Run(0, nil, ctx); err != nil {
+		t.Fatalf("probe run after warm reload: %v", err)
+	}
+	if len(warms) != 2 || warms[0] || !warms[1] {
+		t.Fatalf("Init warm flags = %v, want [false true]", warms)
+	}
+	if h1 := sup.Extension().Heap(); h1 != h0 {
+		t.Fatal("warm reload did not adopt the previous generation's heap")
+	}
+	st := sup.Stats()
+	if st.Reloads != 1 || st.WarmReloads != 1 || st.Quarantines != 1 {
+		t.Fatalf("stats = %+v, want 1 reload, 1 warm, 1 quarantine", st)
+	}
+	if st.LastInit.ResyncOps != 3 || st.LastInit.FullResync {
+		t.Fatalf("warm LastInit = %+v, want the delta-resync report", st.LastInit)
+	}
+	if st.ResyncOps != 13 {
+		t.Fatalf("ResyncOps = %d, want 13 (10 cold + 3 warm)", st.ResyncOps)
+	}
+}
+
+// TestColdReloadWithoutWarmOptIn checks the default path is unchanged: no
+// WarmReload means a fresh heap every generation.
+func TestColdReloadWithoutWarmOptIn(t *testing.T) {
+	clk := &clock{now: time.Unix(0, 0)}
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: kflex.NewRuntime(),
+		Spec:    trivialSpec(),
+		Tuning: supervisor.Tuning{
+			BackoffBase: time.Millisecond,
+			BackoffMax:  4 * time.Millisecond,
+			Now:         clk.Now,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+	h0 := sup.Extension().Heap()
+	sup.Quarantine("maintenance")
+	clk.Advance(5 * time.Millisecond)
+	if _, err := sup.Run(0, nil, make([]byte, kflex.HookXDP.CtxSize)); err != nil {
+		t.Fatal(err)
+	}
+	if h1 := sup.Extension().Heap(); h1 == h0 {
+		t.Fatal("cold reload reused the previous heap")
+	}
+	if st := sup.Stats(); st.WarmReloads != 0 || st.Reloads != 1 {
+		t.Fatalf("stats = %+v, want cold reload only", st)
 	}
 }

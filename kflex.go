@@ -192,6 +192,18 @@ type Spec struct {
 	// behaviour); it exists as the differential-testing baseline the
 	// lowered tier is validated against, not as a production path.
 	Interpret bool
+	// AdoptHeap hands an existing extension heap — typically retained from
+	// a previous generation via Extension.CloseKeepHeap — to the new
+	// extension instead of allocating a fresh one. The heap's size must
+	// equal HeapSize and AdoptAlloc must carry the allocator that owns the
+	// heap's live allocations (re-carving a populated heap would corrupt
+	// them). Adoption is the supervisor's warm-reload path: the data a
+	// healthy extension accumulated survives the generation swap, so
+	// recovery replays only the delta. Runtime-only: like FaultPlan, it
+	// does not participate in the compile-cache fingerprint.
+	AdoptHeap *heap.Heap
+	// AdoptAlloc is the allocator adopted together with AdoptHeap.
+	AdoptAlloc *alloc.Allocator
 }
 
 // Execution tier names reported by PipelineInfo.
@@ -248,8 +260,9 @@ type compiled struct {
 // specFingerprint hashes everything the cached artifacts depend on: the
 // program text plus every spec knob that changes verification,
 // instrumentation, or lowering. Runtime-only knobs (QuantumInsns, NumCPUs,
-// LocalCancel, CancelThreshold, FaultPlan, Callback) are deliberately
-// excluded — they bind at link time and must not defeat the cache.
+// LocalCancel, CancelThreshold, FaultPlan, Callback, AdoptHeap/AdoptAlloc)
+// are deliberately excluded — they bind at link time and must not defeat
+// the cache.
 func specFingerprint(spec Spec) uint64 {
 	const prime64 = 1099511628211
 	h := insn.Fingerprint(spec.Insns)
@@ -512,15 +525,37 @@ func (r *Runtime) Load(spec Spec) (*Extension, error) {
 	}
 	lk := compile.Linkage{Helpers: r.kern.Helpers}
 	if spec.HeapSize > 0 {
-		h, err := heap.New(spec.HeapSize)
-		if err != nil {
-			return nil, fmt.Errorf("kflex: %s: %w", spec.Name, err)
+		var h *heap.Heap
+		if spec.AdoptHeap != nil {
+			// Warm reload: inherit the previous generation's heap and its
+			// allocator. The pair is validated, not trusted — a size
+			// mismatch would break SFI masking, a closed heap would fault
+			// on first touch, and a fresh allocator over a populated heap
+			// would re-carve live data.
+			if spec.AdoptHeap.Size() != spec.HeapSize {
+				return nil, fmt.Errorf("kflex: %s: adopted heap is %d bytes, spec declares %d",
+					spec.Name, spec.AdoptHeap.Size(), spec.HeapSize)
+			}
+			if spec.AdoptHeap.Closed() {
+				return nil, fmt.Errorf("kflex: %s: adopted heap is closed", spec.Name)
+			}
+			if spec.AdoptAlloc == nil {
+				return nil, fmt.Errorf("kflex: %s: adopted heap without its allocator", spec.Name)
+			}
+			h = spec.AdoptHeap
+			ext.alloc = spec.AdoptAlloc
+		} else {
+			var err error
+			h, err = heap.New(spec.HeapSize)
+			if err != nil {
+				return nil, fmt.Errorf("kflex: %s: %w", spec.Name, err)
+			}
+			// One extra allocator CPU slot serves user-space allocations
+			// for co-designed applications (§5.3).
+			ext.alloc = alloc.New(h, spec.NumCPUs+1)
 		}
 		h.SetFaultPlan(spec.FaultPlan)
 		ext.heap = h
-		// One extra allocator CPU slot serves user-space allocations
-		// for co-designed applications (§5.3).
-		ext.alloc = alloc.New(h, spec.NumCPUs+1)
 		ext.alloc.SetFaultPlan(spec.FaultPlan)
 		ext.extLocks = locks.New(h.ExtView())
 		ext.extLocks.SetFaultPlan(spec.FaultPlan)
@@ -817,6 +852,19 @@ func (e *Extension) Close() {
 	if e.heap != nil {
 		e.heap.Close()
 	}
+}
+
+// CloseKeepHeap releases the extension's execution resources but leaves
+// the heap open, returning the heap/allocator pair for adoption by a
+// successor generation (Spec.AdoptHeap/AdoptAlloc — the supervisor's
+// warm-reload path). The caller owns the pair: hand it to exactly one new
+// extension, or close the heap. Returns nils for heapless extensions.
+func (e *Extension) CloseKeepHeap() (*heap.Heap, *alloc.Allocator) {
+	e.StopWatchdog()
+	if e.alloc != nil {
+		e.alloc.StopRefiller()
+	}
+	return e.heap, e.alloc
 }
 
 // --- User-space co-design surface (§3.4, §5.3) --------------------------------
