@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-concurrency chaos recovery fuzz vet check bench bench-smoke clean
+.PHONY: all build test race race-concurrency chaos recovery migrate fuzz vet check bench bench-smoke clean
 
 all: build
 
@@ -38,6 +38,15 @@ recovery:
 	$(GO) test -race -count=1 -timeout 300s -run 'TestChaosDurable|TestChaosFailover|TestWarmReload|TestColdReload' \
 		. ./internal/supervisor/
 
+# Live-migration suite under the race detector: the supervisor's
+# multi-phase cutover engine (drain, audit, relink, adopt, publish) with
+# per-phase fault injection and rollback, the rebalancer policy hook, and
+# the root-level migration chaos pass (seeded staircase, determinism,
+# migration under live traffic).
+migrate:
+	$(GO) test -race -count=1 -timeout 300s -run 'TestMigrate|TestRebalancer|TestChaosMigrate' \
+		. ./internal/supervisor/
+
 # Brief fuzz sessions for the instruction codec, disassembler, the
 # text-assembler front end, interpreter/lowered-tier equivalence, and the
 # WAL replay path over mutated segment bytes.
@@ -46,6 +55,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDisasm -fuzztime=20s ./insn/
 	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=20s ./asm/
 	$(GO) test -run=NONE -fuzz=FuzzLoweredEquivalence -fuzztime=20s .
+	$(GO) test -run=NONE -fuzz=FuzzMigrateCutover -fuzztime=20s .
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=20s ./internal/durable/
 
 # The committed benchmarks: the pipeline comparison (interpreter vs
@@ -53,11 +63,14 @@ fuzz:
 # (closed-loop workers at 1/2/4/8 CPUs, BENCH_scale.json), and the
 # durability/failover measurements (warm vs cold reload latency across
 # delta sizes, replay cost vs snapshot coverage, failover time,
-# BENCH_recovery.json).
+# BENCH_recovery.json), and the live-migration cutover measurements
+# (pause vs store size against the cold-reload baseline, pause vs
+# dirty-set delta, BENCH_migrate.json).
 bench: build
 	$(GO) run ./cmd/kfbench -run pipeline -json BENCH_pipeline.json
 	$(GO) run ./cmd/kfbench -run scale -json BENCH_scale.json
 	$(GO) run ./cmd/kfbench -run recovery -json BENCH_recovery.json
+	$(GO) run ./cmd/kfbench -run migrate -json BENCH_migrate.json
 
 # CI-scale benchmark smoke: sanity-checks that the experiments run and
 # their reports are produced, without committing the throwaway numbers.
@@ -65,6 +78,7 @@ bench-smoke: build
 	$(GO) run ./cmd/kfbench -run pipeline -quick -json /tmp/BENCH_pipeline_smoke.json
 	$(GO) run ./cmd/kfbench -run scale -quick -json /tmp/BENCH_scale_smoke.json
 	$(GO) run ./cmd/kfbench -run recovery -quick -json /tmp/BENCH_recovery_smoke.json
+	$(GO) run ./cmd/kfbench -run migrate -quick -json /tmp/BENCH_migrate_smoke.json
 
 # The pre-merge gate: vet, build, the full test suite under the race
 # detector (includes the chaos suite), then the short chaos pass alone to

@@ -436,6 +436,64 @@ func (a *Allocator) Free(cpu int, addr uint64) error {
 	return nil
 }
 
+// RetireCPU spills cpu's private per-class magazines and its refill inbox
+// back to the global depot. Call it when the handle slot for cpu is being
+// retired — a cross-CPU heap migration moving the shard off the slot, or a
+// successor generation adopting the allocator with a smaller CPU table —
+// so cached blocks are not stranded on a dead CPU where no Malloc will
+// ever pop them again. The caller must guarantee the goroutine that owned
+// the slot has quiesced: the magazines are single-writer and RetireCPU
+// becomes that writer.
+func (a *Allocator) RetireCPU(cpu int) {
+	if cpu < 0 || cpu >= len(a.cpus) {
+		return
+	}
+	c := &a.cpus[cpu]
+	var batch [numClasses][]uint64
+	moved := false
+	for class := 0; class < numClasses; class++ {
+		cc := &c.free[class]
+		for {
+			b, ok := cc.pop()
+			if !ok {
+				break
+			}
+			batch[class] = append(batch[class], b)
+		}
+	}
+	c.inboxMu.Lock()
+	for class := 0; class < numClasses; class++ {
+		batch[class] = append(batch[class], c.inbox[class]...)
+		c.inbox[class] = nil
+	}
+	c.inboxMu.Unlock()
+	a.mu.Lock()
+	for class := 0; class < numClasses; class++ {
+		if len(batch[class]) > 0 {
+			a.global[class] = append(a.global[class], batch[class]...)
+			moved = true
+		}
+	}
+	a.mu.Unlock()
+	if moved {
+		c.spills.Add(1)
+	}
+}
+
+// RetireCPUsFrom retires every per-CPU cache at index n and above — the
+// slots a successor generation with a smaller CPU table can no longer
+// reach (Spec.AdoptHeap with a reduced Spec.NumCPUs). Without the spill,
+// every block parked in those magazines would leak for the lifetime of the
+// heap.
+func (a *Allocator) RetireCPUsFrom(n int) {
+	if n < 0 {
+		n = 0
+	}
+	for cpu := n; cpu < len(a.cpus); cpu++ {
+		a.RetireCPU(cpu)
+	}
+}
+
 // CheckConsistency audits allocator accounting: every carved block of each
 // size class must be exactly once on a free list or (when tracking is on)
 // in the live set, with no duplicate offsets and a valid header. Chaos

@@ -231,6 +231,15 @@ type Config struct {
 	// recovery benchmark uses it as the baseline the O(delta) warm path
 	// is measured against.
 	ColdReload bool
+	// Slots sizes the extension's physical handle-slot table for the
+	// supervised deployment. It defaults to the server count; declaring
+	// more leaves free slots as live-migration targets
+	// (supervisor.Migrate).
+	Slots int
+	// HeapSize overrides the supervised deployment's extension heap size
+	// in bytes (default 64 MiB). Migration and fuzz tests shrink it so a
+	// cutover sweep doesn't pay a 64 MiB allocation per instance.
+	HeapSize uint64
 }
 
 // DefaultConfig mirrors §5.1 with 64 B values.

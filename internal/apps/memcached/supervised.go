@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"kflex"
 	"kflex/internal/durable"
@@ -43,6 +44,14 @@ type Supervised struct {
 	// the circuit was open (or the run was cancelled mid-flight). A warm
 	// reload replays exactly this set — the O(delta) resync contract —
 	// and GETs served from a stale heap are corrected against it.
+	//
+	// mu guards dirty: a live migration's adoption resync runs on the
+	// Migrate caller's goroutine while Execute keeps acknowledging
+	// fallback SETs on the serving goroutine. resync snapshots and
+	// unmarks under mu, then replays outside it; a key re-dirtied after
+	// its snapshot keeps its fresh mark, so the stale replayed value is
+	// still corrected on the next GET.
+	mu    sync.Mutex
 	dirty map[string]struct{}
 	// recovery is the durable store's RecoveryInfo, reported through the
 	// first generation's InitReport and then consumed.
@@ -78,6 +87,14 @@ func NewSupervisedRecovered(cfg Config, servers int, tuning supervisor.Tuning, i
 	if cfg.Preload {
 		preloadStore(m.store, cfg.ValueSize)
 	}
+	slots := cfg.Slots
+	if slots < servers {
+		slots = servers
+	}
+	heapSize := cfg.HeapSize
+	if heapSize == 0 {
+		heapSize = 64 << 20
+	}
 	sup, err := supervisor.New(supervisor.Config{
 		Runtime: rt,
 		Spec: kflex.Spec{
@@ -85,8 +102,8 @@ func NewSupervisedRecovered(cfg Config, servers int, tuning supervisor.Tuning, i
 			Insns:           kflexProgram(false),
 			Hook:            kflex.HookXDP,
 			Mode:            kflex.ModeKFlex,
-			HeapSize:        64 << 20,
-			NumCPUs:         servers,
+			HeapSize:        heapSize,
+			NumCPUs:         slots,
 			FaultPlan:       cfg.FaultPlan,
 			LocalCancel:     cfg.LocalCancel,
 			CancelThreshold: cfg.CancelThreshold,
@@ -131,23 +148,33 @@ func (m *Supervised) resync(g supervisor.Generation) (supervisor.InitReport, err
 	}
 	if g.Warm {
 		// The adopted heap already holds every key the old generation
-		// served; push only the delta, sorted for determinism.
+		// served; push only the delta, sorted for determinism. Snapshot
+		// keys and their authoritative values and unmark them under the
+		// lock, then replay outside it: during a live migration Execute
+		// keeps acknowledging fallback SETs concurrently, and a key
+		// re-dirtied after its snapshot keeps its fresh mark so the next
+		// GET is still corrected against the store.
+		m.mu.Lock()
 		keys := make([]string, 0, len(m.dirty))
 		for k := range m.dirty {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		for _, k := range keys {
-			v := m.store.Get([]byte(k))
-			if v == nil {
+		vals := make([][]byte, len(keys))
+		for i, k := range keys {
+			vals[i] = m.store.Get([]byte(k))
+			delete(m.dirty, k)
+		}
+		m.mu.Unlock()
+		for i, k := range keys {
+			if vals[i] == nil {
 				continue
 			}
-			if err := run(EncodeSet([]byte(k), v)); err != nil {
+			if err := run(EncodeSet([]byte(k), vals[i])); err != nil {
 				return rep, err
 			}
 			rep.ResyncOps++
 		}
-		m.dirty = make(map[string]struct{})
 		return rep, nil
 	}
 	rep.FullResync = true
@@ -164,8 +191,22 @@ func (m *Supervised) resync(g supervisor.Generation) (supervisor.InitReport, err
 	if err != nil {
 		return rep, err
 	}
+	m.mu.Lock()
 	m.dirty = make(map[string]struct{})
+	m.mu.Unlock()
 	return rep, nil
+}
+
+// FallbackSet acknowledges one SET directly on the authoritative store,
+// as if it had been served on the user-space fallback path: the value is
+// durable and the key joins the dirty set the next warm resync replays.
+// Migration benchmarks and chaos tests use it to build a dirty delta of
+// an exact size without driving traffic.
+func (m *Supervised) FallbackSet(key, value []byte) {
+	m.store.Set(key, value)
+	m.mu.Lock()
+	m.dirty[string(key)] = struct{}{}
+	m.mu.Unlock()
 }
 
 // Execute serves one frame: on the extension when the circuit admits it,
@@ -186,7 +227,9 @@ func (m *Supervised) Execute(cpu int, frame []byte) (reply []byte, extNs float64
 		// joins the dirty set the next warm resync will replay.
 		m.Fallbacks++
 		if op, key, _ := ParseRequest(frame); op == wireSet {
+			m.mu.Lock()
 			m.dirty[string(key)] = struct{}{}
+			m.mu.Unlock()
 		}
 		m.reply = HandleKV(m.store, frame, m.reply)
 		return m.reply, 0, false
@@ -197,10 +240,15 @@ func (m *Supervised) Execute(cpu int, frame []byte) (reply []byte, extNs float64
 		// so a reloaded generation can be resynced from it. The heap now
 		// holds the same value, so the key is no longer dirty.
 		m.store.Set(key, value)
+		m.mu.Lock()
 		delete(m.dirty, string(key))
+		m.mu.Unlock()
 	}
 	if op == wireGet {
-		if _, stale := m.dirty[string(key)]; stale || len(m.pkt.Reply) == 1 && m.pkt.Reply[0] == 'M' {
+		m.mu.Lock()
+		_, stale := m.dirty[string(key)]
+		m.mu.Unlock()
+		if stale || len(m.pkt.Reply) == 1 && m.pkt.Reply[0] == 'M' {
 			// Dirty key (heap copy stale) or extension miss (the entry
 			// may have landed while the circuit was open): the durable
 			// store is authoritative for acknowledged SETs.

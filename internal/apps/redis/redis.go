@@ -145,6 +145,14 @@ type Config struct {
 	// authoritative store with a WAL-backed durable store: acknowledged
 	// writes survive process crashes and are replayed on reopen.
 	Durable *durable.Store
+	// Slots sizes the extension's physical handle-slot table for the
+	// supervised deployment. It defaults to the server count; declaring
+	// more leaves free slots as live-migration targets
+	// (supervisor.Migrate).
+	Slots int
+	// HeapSize overrides the supervised deployment's extension heap size
+	// in bytes (default 64 MiB).
+	HeapSize uint64
 }
 
 // DefaultConfig mirrors §5.1.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"kflex"
 	"kflex/internal/apps/kvprog"
@@ -34,7 +35,11 @@ type Supervised struct {
 	reply []byte
 	// dirty tracks keys SET on the fallback path while the extension heap
 	// was out of service; a warm reload replays exactly this set and GETs
-	// from a stale heap are corrected against it.
+	// from a stale heap are corrected against it. mu guards it: a live
+	// migration's adoption resync runs on the Migrate caller's goroutine
+	// while Execute keeps acknowledging fallback SETs (see memcached's
+	// Supervised for the snapshot-and-unmark protocol).
+	mu    sync.Mutex
 	dirty map[string]struct{}
 	// recovery is the durable store's RecoveryInfo, reported through the
 	// first generation's InitReport and then consumed.
@@ -80,6 +85,14 @@ func NewSupervisedRecovered(cfg Config, servers int, tuning supervisor.Tuning, i
 	r := &Supervised{cfg: cfg, db: db,
 		fac:   &reqFactory{gen: workload.NewGenerator(cfg.Seed, cfg.Mix)},
 		dirty: make(map[string]struct{}), recovery: info}
+	slots := cfg.Slots
+	if slots < servers {
+		slots = servers
+	}
+	heapSize := cfg.HeapSize
+	if heapSize == 0 {
+		heapSize = 64 << 20
+	}
 	sup, err := supervisor.New(supervisor.Config{
 		Runtime: rt,
 		Spec: kflex.Spec{
@@ -87,8 +100,8 @@ func NewSupervisedRecovered(cfg Config, servers int, tuning supervisor.Tuning, i
 			Insns:           prog,
 			Hook:            kflex.HookSkSkb,
 			Mode:            kflex.ModeKFlex,
-			HeapSize:        64 << 20,
-			NumCPUs:         servers,
+			HeapSize:        heapSize,
+			NumCPUs:         slots,
 			FaultPlan:       cfg.FaultPlan,
 			LocalCancel:     cfg.LocalCancel,
 			CancelThreshold: cfg.CancelThreshold,
@@ -132,22 +145,30 @@ func (r *Supervised) resync(g supervisor.Generation) (supervisor.InitReport, err
 		return nil
 	}
 	if g.Warm {
+		// Snapshot and unmark under the lock, replay outside it: Execute
+		// may acknowledge fallback SETs concurrently during a live
+		// migration, and re-dirtied keys must keep their fresh marks.
+		r.mu.Lock()
 		keys := make([]string, 0, len(r.dirty))
 		for k := range r.dirty {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		for _, k := range keys {
-			v := r.db.Get([]byte(k))
-			if v == nil {
+		vals := make([][]byte, len(keys))
+		for i, k := range keys {
+			vals[i] = r.db.Get([]byte(k))
+			delete(r.dirty, k)
+		}
+		r.mu.Unlock()
+		for i, k := range keys {
+			if vals[i] == nil {
 				continue
 			}
-			if err := run(EncodeCommand([]byte("SET"), []byte(k), v)); err != nil {
+			if err := run(EncodeCommand([]byte("SET"), []byte(k), vals[i])); err != nil {
 				return rep, err
 			}
 			rep.ResyncOps++
 		}
-		r.dirty = make(map[string]struct{})
 		return rep, nil
 	}
 	rep.FullResync = true
@@ -164,8 +185,22 @@ func (r *Supervised) resync(g supervisor.Generation) (supervisor.InitReport, err
 	if err != nil {
 		return rep, err
 	}
+	r.mu.Lock()
 	r.dirty = make(map[string]struct{})
+	r.mu.Unlock()
 	return rep, nil
+}
+
+// FallbackSet acknowledges one SET directly on the authoritative store,
+// as if it had been served on the user-space fallback path: the value is
+// durable and the key joins the dirty set the next warm resync replays.
+// Migration benchmarks and chaos tests use it to build a dirty delta of
+// an exact size without driving traffic.
+func (r *Supervised) FallbackSet(key, value []byte) {
+	r.db.Set(key, value)
+	r.mu.Lock()
+	r.dirty[string(key)] = struct{}{}
+	r.mu.Unlock()
 }
 
 // Execute serves one frame: on the extension when the circuit admits it,
@@ -185,7 +220,9 @@ func (r *Supervised) Execute(cpu int, frame []byte) (reply []byte, extNs float64
 		// heap, so its key joins the dirty set for the next warm resync.
 		r.Fallbacks++
 		if args, perr := ParseCommand(frame); perr == nil && len(args) >= 3 && string(args[0]) == "SET" {
+			r.mu.Lock()
 			r.dirty[string(args[1])] = struct{}{}
+			r.mu.Unlock()
 		}
 		r.reply = HandleRESP(r.db, frame, r.reply)
 		return r.reply, 0, false
@@ -195,9 +232,13 @@ func (r *Supervised) Execute(cpu int, frame []byte) (reply []byte, extNs float64
 		// reloaded generation can be resynced from it; the heap now holds
 		// the same value, so the key is no longer dirty.
 		r.db.Set(args[1], args[2])
+		r.mu.Lock()
 		delete(r.dirty, string(args[1]))
+		r.mu.Unlock()
 	} else if perr == nil && len(args) >= 2 && string(args[0]) == "GET" {
+		r.mu.Lock()
 		_, stale := r.dirty[string(args[1])]
+		r.mu.Unlock()
 		if stale || bytes.Equal(r.pkt.Reply, respNil) {
 			// Dirty key (heap copy stale) or extension miss (the entry
 			// may have landed while the circuit was open): the store is

@@ -64,7 +64,7 @@ func (o Options) dsOps() int {
 var Experiments = []string{
 	"tab1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab3",
 	"abl-elision", "abl-probe", "abl-perfmode", "abl-xlat", "pipeline",
-	"scale", "recovery",
+	"scale", "recovery", "migrate",
 }
 
 // Run executes the experiment named id.
@@ -100,6 +100,8 @@ func Run(id string, o Options) error {
 		return RunScale(o)
 	case "recovery":
 		return RunRecovery(o)
+	case "migrate":
+		return RunMigrate(o)
 	}
 	return fmt.Errorf("bench: unknown experiment %q (have %v)", id, Experiments)
 }

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"kflex/internal/apps/memcached"
+	"kflex/internal/supervisor"
+	"kflex/internal/workload"
+)
+
+// The migrate experiment quantifies the live cross-CPU heap migration's
+// central claim: moving a serving extension's heap to another CPU slot
+// costs a brief audited pause — drain, audit, cache-hit relink, O(delta)
+// resync, CAS publish — not the cold-reload price of re-pushing the
+// store into a fresh heap. Two sweeps:
+//
+//  1. Cutover pause vs store size: the live pause against the cold
+//     reload latency for the same store. The pause grows with the heap
+//     audit (page scan) while the cold reload grows with the full
+//     resync, so the gap widens as the store does.
+//  2. Cutover pause vs dirty-set delta at the full store size: keys
+//     acknowledged on the fallback path mid-migration are replayed into
+//     the moved heap during cutover, so the pause scales with the delta,
+//     not the store.
+
+// MigrateCutoverLevel is one store-size measurement of the cutover
+// sweep: live migration pause vs cold reload latency.
+type MigrateCutoverLevel struct {
+	Keys int `json:"keys"`
+	// Live migration: heap moved to a free slot, empty dirty set.
+	LivePauseNs   int64 `json:"live_pause_ns"`
+	LiveResyncOps int   `json:"live_resync_ops"`
+	// Cold reload: fresh heap, full store re-pushed.
+	ColdReloadNs  int64 `json:"cold_reload_ns"`
+	ColdResyncOps int   `json:"cold_resync_ops"`
+}
+
+// MigrateDeltaLevel is one dirty-delta measurement at the full store
+// size: delta keys are acknowledged on the fallback path before the
+// cutover, and the migration replays exactly that set.
+type MigrateDeltaLevel struct {
+	Delta     int   `json:"delta"`
+	PauseNs   int64 `json:"pause_ns"`
+	ResyncOps int   `json:"resync_ops"`
+}
+
+// MigrateReport is the full BENCH_migrate.json document.
+type MigrateReport struct {
+	Quick bool `json:"quick"`
+	// StoreKeys is the store size the delta sweep runs against (the
+	// largest cutover level).
+	StoreKeys int                   `json:"store_keys"`
+	Cutover   []MigrateCutoverLevel `json:"cutover"`
+	Delta     []MigrateDeltaLevel   `json:"delta"`
+}
+
+// migrateKeySizes is the cutover sweep's x-axis.
+func (o Options) migrateKeySizes() []int {
+	if o.Quick {
+		return []int{64, 256, 512}
+	}
+	return []int{256, 1024, 4096}
+}
+
+// migrateHeapSize bounds the per-deployment heap: large enough for the
+// kvprog bucket table plus the largest store, small enough that the
+// audit page scan (the pause floor) stays proportionate.
+const migrateHeapSize = 4 << 20
+
+// migrateReps: each level reports the fastest of this many cutovers,
+// suppressing GC and scheduler noise (same policy as recoveryReps).
+const migrateReps = 3
+
+// migrateDeployment builds a supervised deployment with one serving CPU,
+// two physical slots (so a free slot is always available to migrate
+// into), and keys preloaded through the serving path.
+func migrateDeployment(keys int) (*memcached.Supervised, error) {
+	cfg := memcached.DefaultConfig(workload.Mix{GetPct: 50})
+	cfg.Preload = false
+	cfg.Slots = 2
+	cfg.HeapSize = migrateHeapSize
+	mc, err := memcached.NewSupervised(cfg, 1, supervisor.Tuning{})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < keys; i++ {
+		key := workload.FormatKey(uint64(i+1), memcached.KeySize)
+		val := workload.FormatValue(uint64(i+1), cfg.ValueSize)
+		if reply, _, _ := mc.Execute(0, memcached.EncodeSet(key, val)); len(reply) != 1 || reply[0] != 'S' {
+			mc.Close()
+			return nil, fmt.Errorf("migrate: preload SET %d: %q", i, reply)
+		}
+	}
+	return mc, nil
+}
+
+// migrateCycle dirties delta keys on the fallback path, migrates cpu 0's
+// heap to the free slot, and reports the cutover pause and resync count.
+// Cutovers ping-pong between the two slots, so the free slot alternates.
+func migrateCycle(mc *memcached.Supervised, vsz, delta, cycle int) (time.Duration, int, error) {
+	sup := mc.Supervisor()
+	for i := 0; i < delta; i++ {
+		key := workload.FormatKey(uint64(i+1), memcached.KeySize)
+		val := workload.FormatValue(uint64(i+1)*uint64(cycle+2), vsz)
+		mc.FallbackSet(key, val)
+	}
+	free := sup.FreeSlots()
+	if len(free) == 0 {
+		return 0, 0, fmt.Errorf("migrate: no free slot (route %v)", sup.Route())
+	}
+	rep, err := sup.Migrate(0, free[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("migrate: cutover to slot %d: %w", free[0], err)
+	}
+	// The moved heap must still serve: one GET through the new slot.
+	frame := memcached.EncodeGet(workload.FormatKey(1, memcached.KeySize))
+	if reply, _, _ := mc.Execute(0, frame); len(reply) < 1 || reply[0] != 'V' {
+		return 0, 0, fmt.Errorf("migrate: post-cutover GET: %q", reply)
+	}
+	return rep.Pause, rep.ResyncOps, nil
+}
+
+// migrateBest runs migrateReps cutovers and keeps the fastest pause.
+func migrateBest(mc *memcached.Supervised, vsz, delta, cycle int) (time.Duration, int, error) {
+	var minD time.Duration
+	var minOps int
+	for rep := 0; rep < migrateReps; rep++ {
+		d, ops, err := migrateCycle(mc, vsz, delta, cycle*migrateReps+rep)
+		if err != nil {
+			return 0, 0, err
+		}
+		if rep == 0 || d < minD {
+			minD, minOps = d, ops
+		}
+	}
+	return minD, minOps, nil
+}
+
+// migrateCutoverSweep measures the live pause and the cold-reload
+// latency across store sizes.
+func migrateCutoverSweep(keySizes []int, vsz int) ([]MigrateCutoverLevel, error) {
+	var out []MigrateCutoverLevel
+	for cycle, keys := range keySizes {
+		lvl := MigrateCutoverLevel{Keys: keys}
+
+		live, err := migrateDeployment(keys)
+		if err != nil {
+			return nil, err
+		}
+		d, ops, err := migrateBest(live, vsz, 0, cycle)
+		live.Close()
+		if err != nil {
+			return nil, fmt.Errorf("live %d keys: %w", keys, err)
+		}
+		lvl.LivePauseNs, lvl.LiveResyncOps = d.Nanoseconds(), ops
+
+		// Cold baseline: the recovery bench's quarantine/reload cycle
+		// against a ColdReload deployment of the same store.
+		cold, clk, err := recoveryDeployment(keys, true)
+		if err != nil {
+			return nil, err
+		}
+		var minD time.Duration
+		var minOps int
+		for rep := 0; rep < migrateReps; rep++ {
+			d, ops, err := recoveryCycle(cold, clk, vsz, 1, cycle*migrateReps+rep)
+			if err != nil {
+				cold.Close()
+				return nil, fmt.Errorf("cold %d keys: %w", keys, err)
+			}
+			if rep == 0 || d < minD {
+				minD, minOps = d, ops
+			}
+		}
+		cold.Close()
+		lvl.ColdReloadNs, lvl.ColdResyncOps = minD.Nanoseconds(), minOps
+		out = append(out, lvl)
+	}
+	return out, nil
+}
+
+// migrateDeltaSweep measures the cutover pause as a function of the
+// dirty-set delta, on a store of `keys` entries.
+func migrateDeltaSweep(keys, vsz int) ([]MigrateDeltaLevel, error) {
+	mc, err := migrateDeployment(keys)
+	if err != nil {
+		return nil, err
+	}
+	defer mc.Close()
+	var out []MigrateDeltaLevel
+	for cycle, delta := range recoveryDeltas {
+		if delta > keys {
+			delta = keys
+		}
+		d, ops, err := migrateBest(mc, vsz, delta, cycle)
+		if err != nil {
+			return nil, fmt.Errorf("delta %d: %w", delta, err)
+		}
+		out = append(out, MigrateDeltaLevel{Delta: delta, PauseNs: d.Nanoseconds(), ResyncOps: ops})
+	}
+	return out, nil
+}
+
+// Migrate runs the migration experiment and returns the report.
+func Migrate(o Options) (*MigrateReport, error) {
+	sizes := o.migrateKeySizes()
+	rep := &MigrateReport{Quick: o.Quick, StoreKeys: sizes[len(sizes)-1]}
+	var err error
+	if rep.Cutover, err = migrateCutoverSweep(sizes, memcached.ValueSize); err != nil {
+		return nil, fmt.Errorf("migrate: cutover sweep: %w", err)
+	}
+	if rep.Delta, err = migrateDeltaSweep(rep.StoreKeys, memcached.ValueSize); err != nil {
+		return nil, fmt.Errorf("migrate: delta sweep: %w", err)
+	}
+	return rep, nil
+}
+
+// RunMigrate executes the experiment, prints the human-readable summary,
+// and writes BENCH_migrate.json when Options.JSONPath is set.
+func RunMigrate(o Options) error {
+	rep, err := Migrate(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "Migrate: live cross-CPU heap migration\n\n")
+	fmt.Fprintf(o.Out, "cutover pause vs store size (live moves the heap, cold re-pushes the store):\n")
+	fmt.Fprintf(o.Out, "%8s %14s %12s %14s %12s\n", "keys", "live (µs)", "live ops", "cold (µs)", "cold ops")
+	for _, l := range rep.Cutover {
+		fmt.Fprintf(o.Out, "%8d %14.1f %12d %14.1f %12d\n",
+			l.Keys, float64(l.LivePauseNs)/1e3, l.LiveResyncOps,
+			float64(l.ColdReloadNs)/1e3, l.ColdResyncOps)
+	}
+	fmt.Fprintf(o.Out, "\ncutover pause vs dirty-set delta (%d keys):\n", rep.StoreKeys)
+	fmt.Fprintf(o.Out, "%8s %14s %12s\n", "delta", "pause (µs)", "resync ops")
+	for _, l := range rep.Delta {
+		fmt.Fprintf(o.Out, "%8d %14.1f %12d\n", l.Delta, float64(l.PauseNs)/1e3, l.ResyncOps)
+	}
+	if o.JSONPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.JSONPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "\nwrote %s\n", o.JSONPath)
+	}
+	return nil
+}

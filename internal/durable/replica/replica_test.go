@@ -143,6 +143,100 @@ func TestDivergedReplicaForcesFullSync(t *testing.T) {
 	}
 }
 
+func TestRepeatedDigestMismatchConvergesByFullSync(t *testing.T) {
+	// The full-sync fallback must converge under repeated corruption, not
+	// loop: two consecutive catch-ups each find the anti-entropy digest
+	// mismatched (the replica was re-poisoned after the first recovery),
+	// and each recovers by full copy. After the second, the follower is
+	// clean and replication returns to incremental shipping.
+	primary := durable.NewMemory()
+	local := durable.NewMemory()
+	f := NewFollower(primary, local)
+	for i := 0; i < 20; i++ {
+		primary.Set(key(i), value(i))
+	}
+	if _, err := f.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	base := f.Metrics()
+	for round := 1; round <= 2; round++ {
+		// Poison a replicated key with a value the primary never wrote.
+		// The local write bumps the follower's sequence; the primary's
+		// next write re-aligns the sequences, so only the content digest
+		// can expose the divergence.
+		local.Set(key(0), []byte("poisoned"))
+		primary.Set(key(20+round), value(20+round))
+		if _, err := f.CatchUp(); err != nil {
+			t.Fatalf("round %d: CatchUp must recover via full sync: %v", round, err)
+		}
+		m := f.Metrics()
+		if m.FullSyncs != base.FullSyncs+uint64(round) || m.Rejected != base.Rejected+uint64(round) {
+			t.Fatalf("round %d: want %d full syncs, got %+v", round, round, m)
+		}
+		if local.Hash() != primary.Hash() || local.Seq() != primary.Seq() {
+			t.Fatalf("round %d: follower still diverged after full sync", round)
+		}
+	}
+	// Converged, not looping: an idle catch-up ships nothing and forces no
+	// further syncs, and new writes replicate incrementally again.
+	if n, err := f.CatchUp(); n != 0 || err != nil {
+		t.Fatalf("idle CatchUp after recovery: n=%d err=%v", n, err)
+	}
+	primary.Set(key(99), value(99))
+	n, err := f.CatchUp()
+	if err != nil || n != 1 {
+		t.Fatalf("post-recovery delta: n=%d err=%v", n, err)
+	}
+	m := f.Metrics()
+	if m.FullSyncs != base.FullSyncs+2 || m.Rejected != base.Rejected+2 {
+		t.Fatalf("recovery looped: %+v", m)
+	}
+	if local.Hash() != primary.Hash() {
+		t.Fatal("follower diverged after returning to incremental shipping")
+	}
+}
+
+func TestCorruptShippedRecordRejectedThenConverges(t *testing.T) {
+	// A shipped record corrupted in transit must be rejected by the CRC
+	// check without mutating the follower, and the next catch-up must
+	// converge by re-shipping the clean records — repeatedly.
+	primary := durable.NewMemory()
+	local := durable.NewMemory()
+	f := NewFollower(primary, local)
+	primary.Set(key(0), value(0))
+	if _, err := f.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 2; round++ {
+		primary.Set(key(round), value(round))
+		recs, ok := primary.RecordsSince(local.Seq())
+		if !ok || len(recs) != 1 {
+			t.Fatalf("round %d: RecordsSince: ok=%v n=%d", round, ok, len(recs))
+		}
+		// Flip one payload byte: the same frame a faulty transport would
+		// deliver. The follower must reject it and stay at its sequence.
+		corrupt := append([]byte(nil), recs[0]...)
+		corrupt[len(corrupt)-1] ^= 0x40
+		seq, hash := local.Seq(), local.Hash()
+		if err := local.ApplyReplicated(corrupt); err == nil {
+			t.Fatalf("round %d: corrupted record applied", round)
+		}
+		if local.Seq() != seq || local.Hash() != hash {
+			t.Fatalf("round %d: rejected record mutated the follower", round)
+		}
+		// The clean feed is still there: catch-up ships it and converges.
+		if n, err := f.CatchUp(); err != nil || n != 1 {
+			t.Fatalf("round %d: CatchUp after rejection: n=%d err=%v", round, n, err)
+		}
+		if local.Hash() != primary.Hash() {
+			t.Fatalf("round %d: follower diverged", round)
+		}
+	}
+	if m := f.Metrics(); m.FullSyncs != 0 || m.Rejected != 0 {
+		t.Fatalf("clean re-ship should not need full syncs: %+v", m)
+	}
+}
+
 func TestFailoverUnderStorageFaultsDeterministic(t *testing.T) {
 	// Primary runs on an adversarial device, follower tails it, primary
 	// crashes mid-traffic, follower promotes. Two identically-seeded runs

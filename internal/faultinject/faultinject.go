@@ -87,6 +87,29 @@ const (
 	// identifier.
 	StoreTorn
 
+	// The Migrate* kinds fail individual phases of the supervisor's live
+	// cross-CPU heap migration so chaos runs can prove every abnormal
+	// cutover path rolls back to the un-moved source heap — the same
+	// "every failure lands in a provably clean state" discipline the
+	// runtime's cancellation machinery enforces. The fire key for all of
+	// them is from<<8|to, the logical source CPU and physical target slot.
+
+	// MigrateDrain makes the source handle never quiesce: the drain phase
+	// reports a timeout with invocations still in flight.
+	MigrateDrain
+	// MigrateAudit fails the pre-move heap audit: the frozen heap reports
+	// an inconsistency and must not be moved.
+	MigrateAudit
+	// MigrateRelink fails re-linking the cached position-independent Unit
+	// for the target generation.
+	MigrateRelink
+	// MigrateAdopt fails the target's adoption resync (the Init replay of
+	// the dirty set into the moved heap).
+	MigrateAdopt
+	// MigratePublish makes the cutover lose its publish race: the new
+	// handle cannot be installed and the source must be restored.
+	MigratePublish
+
 	numKinds
 )
 
@@ -119,6 +142,16 @@ func (k Kind) String() string {
 		return "store-corrupt"
 	case StoreTorn:
 		return "store-torn"
+	case MigrateDrain:
+		return "migrate-drain"
+	case MigrateAudit:
+		return "migrate-audit"
+	case MigrateRelink:
+		return "migrate-relink"
+	case MigrateAdopt:
+		return "migrate-adopt"
+	case MigratePublish:
+		return "migrate-publish"
 	}
 	return "none"
 }

@@ -1,0 +1,464 @@
+package supervisor
+
+// Live cross-CPU heap migration. A supervised extension's heap — and the
+// allocator magazines that carve it — can be moved from the physical
+// handle slot serving one logical CPU to a free slot while traffic keeps
+// flowing, without losing or duplicating a single acknowledged operation.
+// The cutover leans on machinery the runtime already proves out elsewhere:
+//
+//   - warm adoption (Spec.AdoptHeap/AdoptAlloc, PR 6) moves the heap
+//     between generations without copying it;
+//   - the per-Runtime compile cache makes the target generation a
+//     decode+relink of the cached position-independent Unit, never a
+//     recompile;
+//   - the per-CPU handle table's CAS publication (Extension.Handle)
+//     installs the target handle lock-free, and a running watchdog adopts
+//     it dynamically via WatchExec;
+//   - the supervisor's fallback path absorbs mid-migration traffic into
+//     the caller's dirty set, so the target resyncs O(delta), exactly like
+//     a warm reload.
+//
+// The protocol is a phase machine — admit → drain → audit → relink →
+// adopt → publish — and every phase after admit is covered by a dedicated
+// fault-injection kind (faultinject.Migrate*). Any failure, injected or
+// organic, rolls back: the source extension was never unpublished or
+// detached, so rollback is "discard the half-built target and reopen the
+// circuit" — a half-moved heap cannot exist.
+//
+// An invariant worth stating: the source is not torn down until after the
+// publish commits. The target generation is built while the source still
+// owns the heap (safe because the drain phase froze all traffic), so
+// every abnormal exit leaves the source exactly as the drain found it.
+
+import (
+	"fmt"
+	"time"
+
+	"kflex"
+	"kflex/internal/faultinject"
+)
+
+// MigratePhase identifies one phase of the live-migration protocol, for
+// typed errors and reports.
+type MigratePhase int
+
+const (
+	// PhaseAdmit validates the request and freezes traffic (state →
+	// Migrating).
+	PhaseAdmit MigratePhase = iota
+	// PhaseDrain waits for in-flight invocations to quiesce, bounded by
+	// Tuning.DrainTimeout.
+	PhaseDrain
+	// PhaseAudit runs the teardown invariant checks on the frozen heap; a
+	// heap that fails its audit is never moved.
+	PhaseAudit
+	// PhaseRelink loads the target generation: a compile-cache hit that
+	// re-links the cached Unit against the adopted heap.
+	PhaseRelink
+	// PhaseAdopt replays the dirty-set delta into the target generation
+	// (the Init callback with Generation.Warm).
+	PhaseAdopt
+	// PhasePublish installs the target handle table and rewrites the
+	// route under the supervisor lock.
+	PhasePublish
+)
+
+func (p MigratePhase) String() string {
+	switch p {
+	case PhaseAdmit:
+		return "admit"
+	case PhaseDrain:
+		return "drain"
+	case PhaseAudit:
+		return "audit"
+	case PhaseRelink:
+		return "relink"
+	case PhaseAdopt:
+		return "adopt"
+	case PhasePublish:
+		return "publish"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// MigrateError is the typed failure of a migration attempt. Every failed
+// attempt has rolled back by the time the error is returned: the source
+// generation is live, its heap un-moved.
+type MigrateError struct {
+	Ext      string
+	From, To int
+	Phase    MigratePhase
+	Err      error
+}
+
+func (e *MigrateError) Error() string {
+	return fmt.Sprintf("supervisor: migrate %s cpu %d -> slot %d: %s phase: %v",
+		e.Ext, e.From, e.To, e.Phase, e.Err)
+}
+
+func (e *MigrateError) Unwrap() error { return e.Err }
+
+// MigrationReport describes one migration attempt, committed or rolled
+// back. Stats.LastMigration retains the most recent one.
+type MigrationReport struct {
+	// From is the logical CPU that moved; FromSlot and To are the physical
+	// handle slots it was served by before and after.
+	From, FromSlot, To int
+	// Gen is the generation published by a committed migration (the
+	// pre-attempt generation on rollback).
+	Gen uint64
+	// Phase is the phase the attempt reached: PhasePublish for a commit,
+	// the failing phase for a rollback.
+	Phase MigratePhase
+	// RolledBack reports that the attempt failed and the source was kept.
+	RolledBack bool
+	// Err is the failure cause ("" on commit).
+	Err string
+	// ResyncOps is the dirty-set delta the target replayed into the moved
+	// heap (0 on rollback before PhaseAdopt completed).
+	ResyncOps int
+	// Pause is the span from traffic freeze to publish (or rollback),
+	// measured with Tuning.Now — the window during which requests took the
+	// fallback path.
+	Pause time.Duration
+}
+
+// Migrate moves logical CPU from onto free physical handle slot to,
+// live: traffic observed between the freeze and the publish is served on
+// the caller's user-space fallback (and lands in its dirty set, which the
+// target replays O(delta) during adoption). On success the supervisor is
+// Healthy with a new generation whose handle for cpu from lives at slot
+// to, and the route survives subsequent quarantine/reload cycles. On any
+// failure the attempt rolls back — the source generation keeps serving
+// from its original slot with its heap untouched — and a *MigrateError
+// reports the failing phase.
+//
+// Migrate is admitted only from Healthy and serializes against itself:
+// a concurrent attempt fails in admit.
+func (s *Supervisor) Migrate(from, to int) (MigrationReport, error) {
+	plan := s.cfg.Spec.FaultPlan
+	key := uint64(from)<<8 | uint64(to)
+
+	// Phase: admit. Validate and freeze. After this block every new Run
+	// observes Migrating and falls back; in-flight Runs are counted in
+	// s.inflight (raised under the same lock).
+	s.mu.Lock()
+	rep := MigrationReport{From: from, To: to, Gen: s.gen, Phase: PhaseAdmit}
+	if err := s.admitMigrationLocked(&rep, from, to); err != nil {
+		s.stats.MigrationFailures++
+		s.stats.LastMigration = rep
+		s.mu.Unlock()
+		return rep, err
+	}
+	start := s.cfg.Tuning.Now()
+	s.record(Healthy, Migrating, fmt.Sprintf("migrate cpu %d: slot %d -> %d", from, rep.FromSlot, to))
+	s.state = Migrating
+	src, gen := s.ext, s.gen
+	s.mu.Unlock()
+
+	// Phase: drain. Wait for in-flight invocations to settle. The
+	// deadline is wall clock, not Tuning.Now: a fake clock must not turn
+	// a healthy drain into a spurious timeout (or mask a real stall).
+	rep.Phase = PhaseDrain
+	if plan.Fire(faultinject.MigrateDrain, key) {
+		return s.rollbackMigration(rep, start, nil,
+			fmt.Errorf("drain timeout with %d invocations in flight: %w", s.inflight.Load(), faultinject.ErrInjected))
+	}
+	deadline := time.Now().Add(s.cfg.Tuning.DrainTimeout)
+	for s.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			return s.rollbackMigration(rep, start, nil,
+				fmt.Errorf("drain timeout with %d invocations in flight", s.inflight.Load()))
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+
+	// Phase: audit. The frozen heap must pass the same invariant checks a
+	// quarantine teardown runs (allocator accounting vs. populated pages,
+	// dangling object-table entries, held locks); a heap that cannot
+	// prove itself consistent is never moved. The injected variant models
+	// the audit itself reporting an inconsistency.
+	rep.Phase = PhaseAudit
+	if plan.Fire(faultinject.MigrateAudit, key) {
+		return s.rollbackMigration(rep, start, nil,
+			fmt.Errorf("pre-move audit failed: %w", faultinject.ErrInjected))
+	}
+	s.mu.Lock()
+	audit := s.auditLocked(fmt.Sprintf("migration cpu %d: slot %d -> %d", from, rep.FromSlot, to))
+	s.retainAuditLocked(audit)
+	s.mu.Unlock()
+	if !audit.Clean {
+		return s.rollbackMigration(rep, start, nil,
+			fmt.Errorf("pre-move audit failed: consistency=%q refs=%d locks=%d pages=%d/%d/%d",
+				audit.ConsistencyErr, audit.HeldRefs, audit.HeldLocks,
+				audit.PopulatedPages, audit.MappedPages, audit.ExpectedPages))
+	}
+
+	// Phase: relink. Build the target generation around the source's heap
+	// and allocator while the source still owns them — adoption mutates
+	// nothing the source depends on, so a failure here (or later) leaves
+	// the source exactly as the drain found it. With an unchanged spec
+	// this is a compile-cache hit: the cached position-independent Unit is
+	// re-linked against the adopted heap, never re-verified or re-lowered.
+	rep.Phase = PhaseRelink
+	if plan.Fire(faultinject.MigrateRelink, key) {
+		return s.rollbackMigration(rep, start, nil,
+			fmt.Errorf("relink failed: %w", faultinject.ErrInjected))
+	}
+	spec := s.cfg.Spec
+	spec.AdoptHeap, spec.AdoptAlloc = src.Heap(), src.Alloc()
+	if spec.AdoptHeap == nil || spec.AdoptAlloc == nil {
+		return s.rollbackMigration(rep, start, nil, fmt.Errorf("extension has no heap to migrate"))
+	}
+	target, err := s.cfg.Runtime.Load(spec)
+	if err != nil {
+		return s.rollbackMigration(rep, start, nil, fmt.Errorf("relink: %w", err))
+	}
+	if q := s.cfg.Tuning.WatchdogQuantum; q > 0 {
+		// Arm the target's watchdog before its handles exist: each handle
+		// published below registers itself via WatchExec, so the migrated
+		// slot is stall-monitored from its first invocation.
+		target.StartWatchdog(q, s.cfg.Tuning.WatchdogPoll)
+	}
+	handles := make([]*kflex.Handle, s.cfg.NumCPUs)
+	for cpu := range handles {
+		slot := s.route[cpu] // stable: only publish rewrites it
+		if cpu == from {
+			slot = to
+		}
+		handles[cpu] = target.Handle(slot)
+	}
+
+	// Phase: adopt. Replay the dirty-set delta into the moved heap
+	// through the target's handles — the warm-reload resync contract.
+	// A partial replay is rollback-safe: it pushes authoritative store
+	// values into a heap the source also serves, so the values are
+	// correct either way.
+	rep.Phase = PhaseAdopt
+	if plan.Fire(faultinject.MigrateAdopt, key) {
+		return s.rollbackMigration(rep, start, target,
+			fmt.Errorf("target adoption failed: %w", faultinject.ErrInjected))
+	}
+	var initRep InitReport
+	if s.cfg.Init != nil {
+		initRep, err = s.cfg.Init(Generation{Ext: target, Handles: handles, Gen: gen + 1, Warm: true})
+		if err != nil {
+			return s.rollbackMigration(rep, start, target, fmt.Errorf("target adoption: %w", err))
+		}
+	}
+	rep.ResyncOps = initRep.ResyncOps
+
+	// Phase: publish. Install the target under the supervisor lock: the
+	// handle table, the rewritten route, and the new generation become
+	// visible to Run atomically with the state flip back to Healthy.
+	rep.Phase = PhasePublish
+	s.mu.Lock()
+	if plan.Fire(faultinject.MigratePublish, key) {
+		s.mu.Unlock()
+		return s.rollbackMigration(rep, start, target,
+			fmt.Errorf("publish lost: %w", faultinject.ErrInjected))
+	}
+	s.ext, s.handles = target, handles
+	s.route[from] = to
+	s.gen++
+	rep.Gen = s.gen
+	rep.Pause = s.cfg.Tuning.Now().Sub(start)
+	s.stats.Migrations++
+	s.stats.LastInit = initRep
+	s.stats.ResyncOps += uint64(initRep.ResyncOps)
+	s.stats.ReplayedRecords += initRep.ReplayedRecords
+	if initRep.SnapshotLoaded {
+		s.stats.SnapshotLoads++
+	}
+	s.stats.LastMigration = rep
+	s.record(Migrating, Healthy, "migrated")
+	s.state = Healthy
+	s.mu.Unlock()
+
+	// Retire the source only now that the publish has committed. Unload
+	// invalidates its terminate word (nothing is in flight — the drain
+	// proved that) and stops its watchdog; its heap and allocator live on
+	// in the target, so the source must NOT close them, and the shared
+	// allocator's refiller keeps running for the target.
+	src.Unload()
+	src.StopWatchdog()
+	// The vacated slot's private magazines would be stranded — no handle
+	// routes to it, so no Malloc can ever pop them again. Spill them back
+	// to the depot where any CPU can refill from them.
+	if a := target.Alloc(); a != nil {
+		a.RetireCPU(rep.FromSlot)
+	}
+	return rep, nil
+}
+
+// admitMigrationLocked validates a migration request against the live
+// route. It fills rep.FromSlot on success.
+func (s *Supervisor) admitMigrationLocked(rep *MigrationReport, from, to int) error {
+	fail := func(err error) error {
+		rep.RolledBack = true
+		rep.Err = err.Error()
+		return &MigrateError{Ext: s.name(), From: from, To: to, Phase: PhaseAdmit, Err: err}
+	}
+	if s.state != Healthy {
+		return fail(fmt.Errorf("state %v, need healthy", s.state))
+	}
+	if from < 0 || from >= len(s.route) {
+		return fail(fmt.Errorf("cpu %d out of range [0,%d)", from, len(s.route)))
+	}
+	if to < 0 || to >= s.slots {
+		return fail(fmt.Errorf("slot %d out of range [0,%d)", to, s.slots))
+	}
+	for cpu, slot := range s.route {
+		if slot == to {
+			return fail(fmt.Errorf("slot %d already serves cpu %d", to, cpu))
+		}
+	}
+	rep.FromSlot = s.route[from]
+	return nil
+}
+
+// rollbackMigration abandons an attempt: the half-built target (if any)
+// is retired without touching the shared heap, the circuit reopens on the
+// un-moved source, and the typed error reports the failing phase. The
+// source generation was never unpublished, so there is nothing to
+// restore — rollback is discard-and-resume.
+func (s *Supervisor) rollbackMigration(rep MigrationReport, start time.Time, target *kflex.Extension, cause error) (MigrationReport, error) {
+	if target != nil {
+		// Retire the discarded target. Close/CloseKeepHeap must not run:
+		// they would close (or strand the refiller of) the heap and
+		// allocator the source still owns.
+		target.Unload()
+		target.StopWatchdog()
+		if a := target.Alloc(); a != nil {
+			// The adoption resync may have populated magazines at the
+			// target slot; nothing routes there after rollback, so spill
+			// them back to the depot.
+			a.RetireCPU(rep.To)
+		}
+	}
+	s.mu.Lock()
+	rep.RolledBack = true
+	rep.Err = cause.Error()
+	rep.Gen = s.gen
+	rep.Pause = s.cfg.Tuning.Now().Sub(start)
+	s.stats.MigrationFailures++
+	s.stats.LastMigration = rep
+	s.record(Migrating, Healthy, "migration rolled back: "+rep.Phase.String())
+	s.state = Healthy
+	s.mu.Unlock()
+	return rep, &MigrateError{Ext: s.name(), From: rep.From, To: rep.To, Phase: rep.Phase, Err: cause}
+}
+
+// Route returns a copy of the logical-CPU → physical-slot table.
+func (s *Supervisor) Route() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.route...)
+}
+
+// Slots returns the extension's physical handle-slot count.
+func (s *Supervisor) Slots() int { return s.slots }
+
+// FreeSlots returns the physical slots no logical CPU currently routes
+// to — the candidate targets for Migrate.
+func (s *Supervisor) FreeSlots() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	used := make(map[int]bool, len(s.route))
+	for _, slot := range s.route {
+		used[slot] = true
+	}
+	free := make([]int, 0, s.slots-len(s.route))
+	for slot := 0; slot < s.slots; slot++ {
+		if !used[slot] {
+			free = append(free, slot)
+		}
+	}
+	return free
+}
+
+// CPULoad is one logical CPU's cumulative executed-instruction count (the
+// per-CPU work counters PR 5 introduced, aggregated across generations)
+// and its current physical slot.
+type CPULoad struct {
+	CPU   int
+	Slot  int
+	Insns uint64
+}
+
+// Loads returns the per-CPU work counters alongside the live route.
+func (s *Supervisor) Loads() []CPULoad {
+	s.mu.Lock()
+	route := append([]int(nil), s.route...)
+	s.mu.Unlock()
+	out := make([]CPULoad, len(route))
+	for cpu, slot := range route {
+		out[cpu] = CPULoad{CPU: cpu, Slot: slot, Insns: s.work[cpu].Load()}
+	}
+	return out
+}
+
+// Policy decides whether to migrate, given each CPU's work delta since
+// the previous rebalancer step and the free physical slots. It returns
+// the logical CPU to move and the target slot, or ok=false to stand pat.
+type Policy func(deltas []CPULoad, free []int) (from, to int, ok bool)
+
+// SpreadHottest returns a policy that moves the CPU with the largest work
+// delta onto the first free slot, but only when that delta reaches
+// threshold instructions — a hysteresis floor so an idle or balanced
+// supervisor never churns.
+func SpreadHottest(threshold uint64) Policy {
+	return func(deltas []CPULoad, free []int) (int, int, bool) {
+		if len(free) == 0 {
+			return 0, 0, false
+		}
+		hottest, max := -1, uint64(0)
+		for _, d := range deltas {
+			if d.Insns > max {
+				hottest, max = d.CPU, d.Insns
+			}
+		}
+		if hottest < 0 || max < threshold {
+			return 0, 0, false
+		}
+		return hottest, free[0], true
+	}
+}
+
+// Rebalancer drives migrations from the per-CPU work counters: each Step
+// computes the work delta since the previous step and asks its policy
+// whether (and where) to move a shard. It is the operator-policy hook the
+// issue's supervisor rebalancer describes — deliberately pull-based, like
+// the supervisor's request-driven reloads, so tests and deployments
+// control exactly when rebalancing may happen.
+type Rebalancer struct {
+	sup    *Supervisor
+	policy Policy
+	last   []uint64
+}
+
+// NewRebalancer returns a rebalancer over sup driven by policy.
+func NewRebalancer(sup *Supervisor, policy Policy) *Rebalancer {
+	return &Rebalancer{sup: sup, policy: policy}
+}
+
+// Step takes one rebalancing decision. It returns acted=false when the
+// policy stood pat; otherwise the report and error of the attempted
+// migration (a failed attempt has rolled back — see Migrate).
+func (r *Rebalancer) Step() (rep MigrationReport, acted bool, err error) {
+	loads := r.sup.Loads()
+	if r.last == nil {
+		r.last = make([]uint64, len(loads))
+	}
+	deltas := make([]CPULoad, len(loads))
+	for i, l := range loads {
+		deltas[i] = CPULoad{CPU: l.CPU, Slot: l.Slot, Insns: l.Insns - r.last[i]}
+		r.last[i] = l.Insns
+	}
+	from, to, ok := r.policy(deltas, r.sup.FreeSlots())
+	if !ok {
+		return MigrationReport{}, false, nil
+	}
+	rep, err = r.sup.Migrate(from, to)
+	return rep, true, err
+}

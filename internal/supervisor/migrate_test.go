@@ -1,0 +1,352 @@
+package supervisor_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"kflex"
+	"kflex/internal/faultinject"
+	"kflex/internal/kernel"
+	"kflex/internal/supervisor"
+)
+
+// migrateKey is the fault fire key for a cpu→slot migration.
+func migrateKey(from, to int) uint64 { return uint64(from)<<8 | uint64(to) }
+
+func TestMigrateHappyPath(t *testing.T) {
+	var warmInits, coldInits int
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: kflex.NewRuntime(),
+		Spec:    trivialSpec(), // Spec.NumCPUs defaults to 8 physical slots
+		NumCPUs: 2,
+		Init: func(g supervisor.Generation) (supervisor.InitReport, error) {
+			if g.Warm {
+				warmInits++
+				return supervisor.InitReport{ResyncOps: 3}, nil
+			}
+			coldInits++
+			return supervisor.InitReport{ResyncOps: 10, FullResync: true}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+	h0 := sup.Extension().Heap()
+
+	rep, err := sup.Migrate(0, 5)
+	if err != nil {
+		t.Fatalf("Migrate(0, 5) = %v", err)
+	}
+	if rep.RolledBack || rep.Phase != supervisor.PhasePublish || rep.From != 0 || rep.FromSlot != 0 || rep.To != 5 {
+		t.Fatalf("report = %+v, want committed publish 0(slot 0)->5", rep)
+	}
+	if rep.Gen != 1 || sup.Gen() != 1 {
+		t.Fatalf("gen = %d/%d, want 1 (migration publishes a new generation)", rep.Gen, sup.Gen())
+	}
+	if rep.ResyncOps != 3 {
+		t.Fatalf("ResyncOps = %d, want the warm delta 3", rep.ResyncOps)
+	}
+	if warmInits != 1 || coldInits != 1 {
+		t.Fatalf("inits warm=%d cold=%d, want 1/1 (adoption resync is the warm path)", warmInits, coldInits)
+	}
+	// The heap moved, not copied: pointer-identical across the cutover.
+	if sup.Extension().Heap() != h0 {
+		t.Fatal("migration did not move the heap (pointer changed)")
+	}
+	if route := sup.Route(); route[0] != 5 || route[1] != 1 {
+		t.Fatalf("route = %v, want [5 1]", route)
+	}
+	if s := sup.State(); s != supervisor.Healthy {
+		t.Fatalf("state = %v, want healthy", s)
+	}
+	// The relinked target must come from the compile cache (no recompile).
+	if pl := sup.Extension().Pipeline(); !pl.CacheHit {
+		t.Fatalf("migration target missed the compile cache: %+v", pl)
+	}
+	// Both logical CPUs serve on the new generation.
+	ctx := make([]byte, kflex.HookXDP.CtxSize)
+	for cpu := 0; cpu < 2; cpu++ {
+		if res, err := sup.Run(cpu, nil, ctx); err != nil || res.Ret != kernel.XDPPass {
+			t.Fatalf("post-migration Run(%d) = (%v, %v)", cpu, res.Ret, err)
+		}
+	}
+	st := sup.Stats()
+	if st.Migrations != 1 || st.MigrationFailures != 0 {
+		t.Fatalf("stats = %+v, want 1 migration, 0 failures", st)
+	}
+	if st.LastMigration != rep {
+		t.Fatalf("LastMigration = %+v, want %+v", st.LastMigration, rep)
+	}
+	// Trace shows the freeze/publish bracket; the audit ran and was clean.
+	var froze, published bool
+	for _, tr := range sup.Trace() {
+		froze = froze || (tr.From == supervisor.Healthy && tr.To == supervisor.Migrating)
+		published = published || (tr.From == supervisor.Migrating && tr.To == supervisor.Healthy && tr.Reason == "migrated")
+	}
+	if !froze || !published {
+		t.Fatalf("trace missing freeze/publish edges: %+v", sup.Trace())
+	}
+	if audits := sup.Audits(); len(audits) != 1 || !audits[0].Clean {
+		t.Fatalf("audits = %+v, want one clean pre-move report", audits)
+	}
+}
+
+func TestMigrateAdmitValidation(t *testing.T) {
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: kflex.NewRuntime(),
+		Spec:    trivialSpec(),
+		NumCPUs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+
+	cases := []struct{ from, to int }{
+		{-1, 5}, // cpu out of range
+		{2, 5},  // cpu beyond NumCPUs
+		{0, -1}, // slot out of range
+		{0, 8},  // slot beyond the extension's table
+		{0, 1},  // slot already serves cpu 1
+		{0, 0},  // slot already serves cpu 0 itself
+	}
+	for _, c := range cases {
+		rep, err := sup.Migrate(c.from, c.to)
+		var me *supervisor.MigrateError
+		if err == nil || !errors.As(err, &me) || me.Phase != supervisor.PhaseAdmit {
+			t.Fatalf("Migrate(%d, %d) = (%+v, %v), want an admit MigrateError", c.from, c.to, rep, err)
+		}
+	}
+	if st := sup.Stats(); st.MigrationFailures != uint64(len(cases)) || st.Migrations != 0 {
+		t.Fatalf("stats = %+v, want %d admit failures", st, len(cases))
+	}
+	// A non-healthy supervisor refuses too.
+	sup.Quarantine("maintenance")
+	if _, err := sup.Migrate(0, 5); err == nil {
+		t.Fatal("Migrate admitted while quarantined")
+	}
+	// Route and gen unchanged by any refused attempt.
+	if route := sup.Route(); route[0] != 0 || route[1] != 1 {
+		t.Fatalf("route mutated by refused attempts: %v", route)
+	}
+}
+
+// TestMigrateFaultRollback injects a failure into every phase in turn and
+// checks each attempt rolls back completely: same generation, same heap,
+// identity route, Healthy state, and traffic still served by the source.
+func TestMigrateFaultRollback(t *testing.T) {
+	kinds := []struct {
+		kind  faultinject.Kind
+		phase supervisor.MigratePhase
+	}{
+		{faultinject.MigrateDrain, supervisor.PhaseDrain},
+		{faultinject.MigrateAudit, supervisor.PhaseAudit},
+		{faultinject.MigrateRelink, supervisor.PhaseRelink},
+		{faultinject.MigrateAdopt, supervisor.PhaseAdopt},
+		{faultinject.MigratePublish, supervisor.PhasePublish},
+	}
+	for _, tc := range kinds {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			plan := faultinject.NewPlan(1)
+			plan.FailNth(tc.kind, migrateKey(0, 3), 1)
+			spec := trivialSpec()
+			spec.FaultPlan = plan
+			sup, err := supervisor.New(supervisor.Config{
+				Runtime: kflex.NewRuntime(),
+				Spec:    spec,
+				NumCPUs: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(sup.Close)
+			h0, gen0 := sup.Extension().Heap(), sup.Gen()
+			plan.Enable()
+
+			rep, err := sup.Migrate(0, 3)
+			var me *supervisor.MigrateError
+			if err == nil || !errors.As(err, &me) {
+				t.Fatalf("Migrate = (%+v, %v), want a MigrateError", rep, err)
+			}
+			if me.Phase != tc.phase || rep.Phase != tc.phase {
+				t.Fatalf("failed phase = %v/%v, want %v", me.Phase, rep.Phase, tc.phase)
+			}
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("error %v does not unwrap to ErrInjected", err)
+			}
+			if !rep.RolledBack || rep.Err == "" {
+				t.Fatalf("report = %+v, want RolledBack with a cause", rep)
+			}
+			// Rollback invariants: nothing moved, nothing torn down.
+			if sup.Gen() != gen0 {
+				t.Fatalf("gen = %d, want %d (rollback must not publish)", sup.Gen(), gen0)
+			}
+			if sup.Extension().Heap() != h0 {
+				t.Fatal("rollback did not keep the source heap")
+			}
+			if route := sup.Route(); route[0] != 0 || route[1] != 1 {
+				t.Fatalf("route = %v, want identity after rollback", route)
+			}
+			if s := sup.State(); s != supervisor.Healthy {
+				t.Fatalf("state = %v, want healthy after rollback", s)
+			}
+			st := sup.Stats()
+			if st.Migrations != 0 || st.MigrationFailures != 1 {
+				t.Fatalf("stats = %+v, want 0 migrations, 1 failure", st)
+			}
+			if !st.LastMigration.RolledBack {
+				t.Fatalf("LastMigration = %+v, want rolled back", st.LastMigration)
+			}
+			// The source keeps serving, and a retry with the one-shot fault
+			// consumed commits.
+			ctx := make([]byte, kflex.HookXDP.CtxSize)
+			if res, err := sup.Run(0, nil, ctx); err != nil || res.Ret != kernel.XDPPass {
+				t.Fatalf("post-rollback Run = (%v, %v)", res.Ret, err)
+			}
+			if rep, err := sup.Migrate(0, 3); err != nil || rep.RolledBack {
+				t.Fatalf("retry after rollback = (%+v, %v), want commit", rep, err)
+			}
+			if sup.Extension().Heap() != h0 {
+				t.Fatal("retry moved a different heap")
+			}
+		})
+	}
+}
+
+// TestMigrateRouteSurvivesReload checks a migrated CPU keeps its migrated
+// slot across a quarantine/reload cycle: the route is supervisor state,
+// not generation state.
+func TestMigrateRouteSurvivesReload(t *testing.T) {
+	clk := &clock{now: time.Unix(0, 0)}
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: kflex.NewRuntime(),
+		Spec:    trivialSpec(),
+		NumCPUs: 2,
+		Tuning: supervisor.Tuning{
+			BackoffBase: time.Millisecond,
+			BackoffMax:  4 * time.Millisecond,
+			Now:         clk.Now,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+
+	if _, err := sup.Migrate(1, 6); err != nil {
+		t.Fatal(err)
+	}
+	sup.Quarantine("maintenance")
+	clk.Advance(5 * time.Millisecond)
+	ctx := make([]byte, kflex.HookXDP.CtxSize)
+	if _, err := sup.Run(1, nil, ctx); err != nil {
+		t.Fatalf("probe after reload: %v", err)
+	}
+	if route := sup.Route(); route[0] != 0 || route[1] != 6 {
+		t.Fatalf("route after reload = %v, want [0 6]", route)
+	}
+	if free := sup.FreeSlots(); len(free) != 6 || free[0] != 1 {
+		t.Fatalf("free slots = %v, want slot 1 freed and slot 6 occupied", free)
+	}
+}
+
+func TestRebalancerSpreadHottest(t *testing.T) {
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: kflex.NewRuntime(),
+		Spec:    trivialSpec(),
+		NumCPUs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+	rb := supervisor.NewRebalancer(sup, supervisor.SpreadHottest(1))
+
+	// No work yet: the policy stands pat below its threshold.
+	if rep, acted, err := rb.Step(); acted || err != nil {
+		t.Fatalf("idle Step = (%+v, %v, %v), want no action", rep, acted, err)
+	}
+
+	// Drive cpu 1 hot; cpu 0 stays idle.
+	ctx := make([]byte, kflex.HookXDP.CtxSize)
+	for i := 0; i < 16; i++ {
+		if _, err := sup.Run(1, nil, ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads := sup.Loads()
+	if loads[1].Insns == 0 || loads[0].Insns != 0 {
+		t.Fatalf("work counters = %+v, want cpu 1 hot only", loads)
+	}
+
+	rep, acted, err := rb.Step()
+	if !acted || err != nil {
+		t.Fatalf("hot Step = (%+v, %v, %v), want a migration", rep, acted, err)
+	}
+	if rep.From != 1 || rep.To != 2 {
+		t.Fatalf("rebalancer moved cpu %d to slot %d, want hottest cpu 1 to first free slot 2", rep.From, rep.To)
+	}
+	if route := sup.Route(); route[1] != 2 {
+		t.Fatalf("route = %v, want cpu 1 on slot 2", route)
+	}
+	// Deltas reset each step: with no new work the next step stands pat.
+	if _, acted, _ := rb.Step(); acted {
+		t.Fatal("rebalancer re-migrated with no new work")
+	}
+}
+
+// TestTraceAuditRingBounded checks the history windows are bounded while
+// the lifetime totals keep counting — the soak-run memory fix.
+func TestTraceAuditRingBounded(t *testing.T) {
+	clk := &clock{now: time.Unix(0, 0)}
+	sup, err := supervisor.New(supervisor.Config{
+		Runtime: kflex.NewRuntime(),
+		Spec:    trivialSpec(),
+		Tuning: supervisor.Tuning{
+			BackoffBase: time.Millisecond,
+			BackoffMax:  4 * time.Millisecond,
+			ProbeRuns:   1,
+			Now:         clk.Now,
+			TraceDepth:  4,
+			AuditDepth:  2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+
+	ctx := make([]byte, kflex.HookXDP.CtxSize)
+	const cycles = 3 // 4 transitions + 1 audit each
+	for i := 0; i < cycles; i++ {
+		if !sup.Quarantine("cycle") {
+			t.Fatalf("cycle %d: Quarantine refused", i)
+		}
+		clk.Advance(5 * time.Millisecond)
+		if _, err := sup.Run(0, nil, ctx); err != nil {
+			t.Fatalf("cycle %d probe: %v", i, err)
+		}
+	}
+
+	trace := sup.Trace()
+	if len(trace) != 4 {
+		t.Fatalf("retained trace = %d entries, want TraceDepth 4", len(trace))
+	}
+	// Oldest-first within the window: the final cycle's four edges.
+	if trace[0].From != supervisor.Healthy || trace[3].To != supervisor.Healthy {
+		t.Fatalf("trace window misordered: %+v", trace)
+	}
+	audits := sup.Audits()
+	if len(audits) != 2 {
+		t.Fatalf("retained audits = %d, want AuditDepth 2", len(audits))
+	}
+	st := sup.Stats()
+	if st.Transitions != 4*cycles {
+		t.Fatalf("Transitions = %d, want %d lifetime edges", st.Transitions, 4*cycles)
+	}
+	if st.AuditsTotal != cycles {
+		t.Fatalf("AuditsTotal = %d, want %d", st.AuditsTotal, cycles)
+	}
+}

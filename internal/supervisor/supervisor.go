@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kflex"
@@ -65,6 +66,11 @@ const (
 	// Probing: the circuit is half-open. A reloaded extension serves a
 	// bounded number of probe Runs; the rest of the traffic falls back.
 	Probing
+	// Migrating: a live cross-CPU migration is in flight. The source
+	// handle is drained and frozen; traffic falls back to the user-space
+	// path (and lands in the caller's dirty set) until the target slot is
+	// published or the migration rolls back. See Supervisor.Migrate.
+	Migrating
 )
 
 func (s State) String() string {
@@ -77,6 +83,8 @@ func (s State) String() string {
 		return "quarantined"
 	case Probing:
 		return "probing"
+	case Migrating:
+		return "migrating"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -155,6 +163,24 @@ type Tuning struct {
 	// with it the whole transition trace — is independent of wall time.
 	// Defaults to time.Now.
 	Now func() time.Time
+	// DrainTimeout bounds how long a migration's drain phase waits for
+	// in-flight invocations to quiesce before rolling back (default 1s).
+	// It is measured against the wall clock, not Now: a fake clock must
+	// not turn a healthy drain into a spurious timeout.
+	DrainTimeout time.Duration
+	// WatchdogQuantum, when positive, makes the supervisor arm a
+	// wall-clock stall watchdog on every generation it loads — including
+	// migration targets, whose freshly published handles register via
+	// WatchExec — and restore it on migration rollback. WatchdogPoll is
+	// the scan interval (default quantum/2).
+	WatchdogQuantum time.Duration
+	WatchdogPoll    time.Duration
+	// TraceDepth bounds the retained transition history (default 256) and
+	// AuditDepth the retained audit reports (default 64); older entries
+	// are evicted oldest-first while Stats keeps lifetime totals, so soak
+	// runs no longer grow without bound.
+	TraceDepth int
+	AuditDepth int
 }
 
 // Generation hands a freshly loaded extension instance to the Init
@@ -244,6 +270,17 @@ type Stats struct {
 	// LastRecovery is the duration of the most recent successful reload
 	// (load + init), measured with Tuning.Now.
 	LastRecovery time.Duration
+	// Transitions and AuditsTotal are lifetime counts of recorded
+	// state-machine edges and quarantine/migration audits; Trace() and
+	// Audits() retain only the newest Tuning.TraceDepth/AuditDepth.
+	Transitions uint64
+	AuditsTotal uint64
+	// Migrations counts committed cross-CPU migrations;
+	// MigrationFailures counts attempts that rolled back.
+	Migrations        uint64
+	MigrationFailures uint64
+	// LastMigration is the most recent migration attempt's report.
+	LastMigration MigrationReport
 }
 
 // Supervisor wraps one extension with the lifecycle state machine. All
@@ -263,9 +300,26 @@ type Supervisor struct {
 	probeLeft      int
 	probesInFlight int
 	rng            *rand.Rand
-	trace          []Transition
-	audits         []AuditReport
+	trace          *ring[Transition]
+	audits         *ring[AuditReport]
 	stats          Stats
+
+	// route maps each logical CPU (the index callers pass to Run) onto a
+	// physical handle slot of the live extension. It starts as the
+	// identity and is rewritten by Migrate; it survives quarantine/reload
+	// cycles, so a migrated shard recovers on its migrated home.
+	route []int
+	// slots is the extension's physical handle-slot count (Spec.NumCPUs
+	// after the runtime's defaulting); migration targets must lie below it.
+	slots int
+
+	// inflight counts invocations between handle resolution and outcome
+	// settlement; the migration drain phase waits for it to reach zero.
+	inflight atomic.Int64
+	// work accumulates executed instructions per logical CPU — the PR 5
+	// work counters, aggregated across generations — feeding the
+	// rebalancer's policy hook.
+	work []atomic.Uint64
 
 	// warmHeap/warmAlloc are the previous generation's heap and
 	// allocator, retained across a clean-audit quarantine for adoption by
@@ -305,10 +359,41 @@ func New(cfg Config) (*Supervisor, error) {
 	if cfg.Tuning.Now == nil {
 		cfg.Tuning.Now = time.Now
 	}
+	if cfg.Tuning.DrainTimeout <= 0 {
+		cfg.Tuning.DrainTimeout = time.Second
+	}
+	if cfg.Tuning.WatchdogQuantum > 0 && cfg.Tuning.WatchdogPoll <= 0 {
+		cfg.Tuning.WatchdogPoll = cfg.Tuning.WatchdogQuantum / 2
+	}
+	if cfg.Tuning.TraceDepth <= 0 {
+		cfg.Tuning.TraceDepth = 256
+	}
+	if cfg.Tuning.AuditDepth <= 0 {
+		cfg.Tuning.AuditDepth = 64
+	}
+	// slots mirrors the runtime's Spec.NumCPUs defaulting: the extension's
+	// physical handle-slot table. Migration needs headroom, so a spec may
+	// declare more slots than the supervisor's logical CPUs — but never
+	// fewer.
+	slots := cfg.Spec.NumCPUs
+	if slots <= 0 {
+		slots = 8
+	}
+	if cfg.NumCPUs > slots {
+		return nil, fmt.Errorf("supervisor: NumCPUs %d exceeds the extension's %d handle slots", cfg.NumCPUs, slots)
+	}
 	s := &Supervisor{
-		cfg:   cfg,
-		state: Healthy,
-		rng:   rand.New(rand.NewSource(cfg.Tuning.JitterSeed)),
+		cfg:    cfg,
+		state:  Healthy,
+		rng:    rand.New(rand.NewSource(cfg.Tuning.JitterSeed)),
+		trace:  newRing[Transition](cfg.Tuning.TraceDepth),
+		audits: newRing[AuditReport](cfg.Tuning.AuditDepth),
+		route:  make([]int, cfg.NumCPUs),
+		slots:  slots,
+		work:   make([]atomic.Uint64, cfg.NumCPUs),
+	}
+	for cpu := range s.route {
+		s.route[cpu] = cpu
 	}
 	ext, handles, err := s.loadGeneration(0)
 	if err != nil {
@@ -341,7 +426,13 @@ func (s *Supervisor) loadGeneration(nextGen uint64) (*kflex.Extension, []*kflex.
 		} else {
 			handles := make([]*kflex.Handle, s.cfg.NumCPUs)
 			for cpu := range handles {
-				handles[cpu] = ext.Handle(cpu)
+				// Handles live at the routed physical slot, so a logical
+				// CPU that was migrated keeps its migrated home across
+				// quarantine/reload cycles.
+				handles[cpu] = ext.Handle(s.route[cpu])
+			}
+			if q := s.cfg.Tuning.WatchdogQuantum; q > 0 {
+				ext.StartWatchdog(q, s.cfg.Tuning.WatchdogPoll)
 			}
 			var rep InitReport
 			if s.cfg.Init != nil {
@@ -409,11 +500,17 @@ func (s *Supervisor) run(cpu int, invoke func(*kflex.Handle) (kflex.Result, erro
 	switch s.state {
 	case Healthy:
 		h, gen := s.handles[cpu], s.gen
+		// inflight is raised under mu, so a migration that observed state
+		// Migrating before we got the lock cannot miss us: by the time its
+		// drain phase reads the counter we are already counted.
+		s.inflight.Add(1)
 		s.mu.Unlock()
 		res, err := invoke(h)
+		s.work[cpu].Add(res.Stats.Insns)
 		if degradedOutcome(res, err, h) {
 			s.quarantineOn(gen, "cancel threshold")
 		}
+		s.inflight.Add(-1)
 		return res, err
 
 	case Probing:
@@ -424,13 +521,20 @@ func (s *Supervisor) run(cpu int, invoke func(*kflex.Handle) (kflex.Result, erro
 		}
 		s.probesInFlight++
 		h, gen := s.handles[cpu], s.gen
+		s.inflight.Add(1)
 		s.mu.Unlock()
 		res, err := invoke(h)
+		s.work[cpu].Add(res.Stats.Insns)
 		s.settleProbe(gen, res, err)
+		s.inflight.Add(-1)
 		return res, err
 
-	default: // Quarantined: reload failed, circuit stays open.
-		err := &OpenError{Ext: s.name(), State: Quarantined}
+	default:
+		// Quarantined (reload failed, circuit stays open) or Migrating (the
+		// source handle is frozen mid-cutover): the caller serves on its
+		// user-space fallback, whose writes land in the dirty set that the
+		// migration target replays O(delta).
+		err := &OpenError{Ext: s.name(), State: s.state}
 		s.mu.Unlock()
 		return kflex.Result{}, err
 	}
@@ -491,7 +595,7 @@ func (s *Supervisor) settleProbe(gen uint64, res kflex.Result, err error) {
 func (s *Supervisor) quarantineLocked(reason string) {
 	s.ext.Unload()
 	audit := s.auditLocked(reason)
-	s.audits = append(s.audits, audit)
+	s.retainAuditLocked(audit)
 	if s.cfg.WarmReload && audit.Clean {
 		// The teardown audit proved the heap consistent: retain it (and
 		// the allocator that owns its carving) for adoption by the next
@@ -573,7 +677,15 @@ func (s *Supervisor) auditLocked(reason string) AuditReport {
 }
 
 func (s *Supervisor) record(from, to State, reason string) {
-	s.trace = append(s.trace, Transition{From: from, To: to, Reason: reason, Gen: s.gen, Tier: s.tier})
+	s.trace.push(Transition{From: from, To: to, Reason: reason, Gen: s.gen, Tier: s.tier})
+	s.stats.Transitions++
+}
+
+// retainAuditLocked retains an audit report in the bounded history window
+// and bumps the lifetime total.
+func (s *Supervisor) retainAuditLocked(rep AuditReport) {
+	s.audits.push(rep)
+	s.stats.AuditsTotal++
 }
 
 func (s *Supervisor) name() string {
@@ -635,18 +747,22 @@ func (s *Supervisor) Quarantine(reason string) bool {
 	return true
 }
 
-// Trace returns a copy of the recorded transition trace.
+// Trace returns a copy of the recorded transition trace — the newest
+// Tuning.TraceDepth entries, oldest-first. Stats().Transitions keeps the
+// lifetime count.
 func (s *Supervisor) Trace() []Transition {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]Transition(nil), s.trace...)
+	return s.trace.snapshot()
 }
 
-// Audits returns a copy of the retained quarantine audit reports.
+// Audits returns a copy of the retained quarantine and migration audit
+// reports — the newest Tuning.AuditDepth entries, oldest-first.
+// Stats().AuditsTotal keeps the lifetime count.
 func (s *Supervisor) Audits() []AuditReport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]AuditReport(nil), s.audits...)
+	return s.audits.snapshot()
 }
 
 // Close retires the live generation and releases its resources.

@@ -544,6 +544,12 @@ func (r *Runtime) Load(spec Spec) (*Extension, error) {
 			}
 			h = spec.AdoptHeap
 			ext.alloc = spec.AdoptAlloc
+			// The adopting generation may declare fewer CPUs than the
+			// allocator was built for; magazines of slots beyond the new
+			// table (plus its user-space slot at index NumCPUs) would be
+			// stranded — no Malloc can ever pop them again — so spill them
+			// back to the depot before the new generation takes traffic.
+			ext.alloc.RetireCPUsFrom(spec.NumCPUs + 1)
 		} else {
 			var err error
 			h, err = heap.New(spec.HeapSize)
@@ -786,6 +792,11 @@ func (e *Extension) Unloads() uint64 { return e.unloads.Load() }
 
 // Name returns the Spec.Name the extension was loaded under.
 func (e *Extension) Name() string { return e.name }
+
+// NumCPUs returns the size of the per-CPU handle slot table — the number
+// of simulated CPUs the extension can be driven on. The supervisor's
+// cross-CPU migration uses it to validate target slots.
+func (e *Extension) NumCPUs() int { return e.numCPUs }
 
 // AuditHeld sums kernel-object references and extension locks currently
 // held across the extension's handles. Both must be zero when no
